@@ -1,0 +1,174 @@
+package flare
+
+// One benchmark per table and figure in the paper's evaluation, plus
+// micro-benchmarks and ablations of the core design choices. The
+// table/figure benchmarks run the full experiment pipeline at Quick
+// scale (shortened durations, 3 seeded runs per point — the shapes match
+// the paper; cmd/flarebench -scale full reproduces the paper-scale
+// outputs). Headline numbers are reported as benchmark metrics.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/experiments"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/sim"
+)
+
+// benchScale trims the experiments to benchmark-friendly durations.
+func benchScale() experiments.Scale {
+	return experiments.Scale{DurationFactor: 0.05, Runs: 2}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkTable1StaticTestbed(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkTable2DynamicTestbed(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkFig4StaticTimeseries(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFig5DynamicTimeseries(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig6StaticCDF(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkFig7MobileCDF(b *testing.B)         { runExperiment(b, "fig7") }
+func BenchmarkFig8Relaxation(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkFig9SolverScaling(b *testing.B)     { runExperiment(b, "fig9") }
+func BenchmarkFig10Coexistence(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11AlphaSweep(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkFig12DeltaSweep(b *testing.B)       { runExperiment(b, "fig12") }
+
+// --- Core solver micro-benchmarks (the Figure 9 measurement, isolated).
+
+func solverProblem(nFlows int, ladder has.Ladder) *core.Problem {
+	rng := sim.NewRNG(1)
+	p := &core.Problem{
+		Flows:        make([]core.VideoFlow, nFlows),
+		NumDataFlows: 4,
+		Alpha:        1,
+		TotalRBs:     50_000,
+		BAISeconds:   1,
+	}
+	for u := range p.Flows {
+		p.Flows[u] = core.VideoFlow{
+			ID:         u,
+			Ladder:     ladder,
+			Beta:       10,
+			ThetaBps:   0.2e6,
+			PrevLevel:  rng.Intn(ladder.Len()+1) - 1,
+			RBsPerByte: 1 / (5 + rng.Float64()*30),
+		}
+	}
+	return p
+}
+
+func benchSolver(b *testing.B, nFlows int, relaxed bool) {
+	b.Helper()
+	p := solverProblem(nFlows, has.FineLadder())
+	exact := core.NewExactSolver()
+	relax := core.NewRelaxedSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if relaxed {
+			_, err = relax.Solve(p)
+		} else {
+			_, err = exact.Solve(p)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSolver8(b *testing.B)     { benchSolver(b, 8, false) }
+func BenchmarkExactSolver32(b *testing.B)    { benchSolver(b, 32, false) }
+func BenchmarkExactSolver128(b *testing.B)   { benchSolver(b, 128, false) }
+func BenchmarkRelaxedSolver8(b *testing.B)   { benchSolver(b, 8, true) }
+func BenchmarkRelaxedSolver32(b *testing.B)  { benchSolver(b, 32, true) }
+func BenchmarkRelaxedSolver128(b *testing.B) { benchSolver(b, 128, true) }
+
+// --- Radio substrate micro-benchmarks.
+
+func benchScheduler(b *testing.B, sched lte.Scheduler, nFlows int) {
+	b.Helper()
+	enb := lte.NewENodeB(lte.NewUniformStaticChannel(nFlows, 12), sched)
+	bearers := make([]*lte.Bearer, nFlows)
+	for i := range bearers {
+		cls := lte.ClassData
+		gbr := 0.0
+		if i%2 == 0 {
+			cls = lte.ClassVideo
+			gbr = 1e6
+		}
+		bearers[i] = &lte.Bearer{ID: i, UE: i, Class: cls, GBRBits: gbr}
+		if _, err := enb.AddBearer(bearers[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, br := range bearers {
+			if br.Backlog() < 10_000 {
+				br.Enqueue(100_000)
+			}
+		}
+		enb.RunTTI(int64(i))
+	}
+}
+
+func BenchmarkSchedulerPF8(b *testing.B)       { benchScheduler(b, lte.PFScheduler{}, 8) }
+func BenchmarkSchedulerPF64(b *testing.B)      { benchScheduler(b, lte.PFScheduler{}, 64) }
+func BenchmarkSchedulerTwoPhase8(b *testing.B) { benchScheduler(b, lte.TwoPhaseGBRScheduler{}, 8) }
+func BenchmarkSchedulerPSS8(b *testing.B)      { benchScheduler(b, lte.PrioritySetScheduler{}, 8) }
+
+// --- End-to-end cell simulation throughput (simulated seconds per
+// wall second is the figure of merit: ns/op divided by 60 virtual s).
+
+func benchCell(b *testing.B, scheme cellsim.Scheme) {
+	b.Helper()
+	cfg := cellsim.DefaultConfig(scheme)
+	cfg.Duration = 60 * time.Second
+	cfg.NumVideo = 8
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := cellsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellSimFLARE(b *testing.B)   { benchCell(b, cellsim.SchemeFLARE) }
+func BenchmarkCellSimFESTIVE(b *testing.B) { benchCell(b, cellsim.SchemeFESTIVE) }
+func BenchmarkCellSimAVIS(b *testing.B)    { benchCell(b, cellsim.SchemeAVIS) }
+
+// --- Ablation: Algorithm 1's streak gate on vs off (delta 4 vs 0),
+// reported via the gate's direct cost.
+
+func BenchmarkGateApply(b *testing.B) {
+	g := core.NewGate(4)
+	for i := 0; i < b.N; i++ {
+		g.Apply(i%16, 2, 3)
+	}
+}
+
+func BenchmarkExtCoexistence(b *testing.B)   { runExperiment(b, "ext-coexist") }
+func BenchmarkExtABRComparison(b *testing.B) { runExperiment(b, "ext-abr") }

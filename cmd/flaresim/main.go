@@ -1,0 +1,144 @@
+// Command flaresim runs a single cell simulation and prints its summary:
+// per-client bitrate/stability/stall metrics plus the cell-level
+// aggregates the paper reports.
+//
+// Usage:
+//
+//	flaresim [-scheme flare|festive|google|avis] [-duration 1200s]
+//	         [-videos 8] [-data 0] [-channel static|cyclic|mobility]
+//	         [-itbs 12] [-ladder sim|testbed|fine] [-seed 1]
+//	         [-alpha 1.0] [-delta 4] [-relax]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		schemeName  = flag.String("scheme", "flare", "rate adaptation scheme: flare, festive, google, avis, bba, mpc")
+		duration    = flag.Duration("duration", 1200*time.Second, "simulated duration")
+		videos      = flag.Int("videos", 8, "number of video clients")
+		data        = flag.Int("data", 0, "number of greedy data flows")
+		legacy      = flag.Int("legacy", 0, "number of conventional (non-coordinated) HAS players")
+		channelName = flag.String("channel", "mobility", "channel model: static, cyclic, mobility")
+		iTbs        = flag.Int("itbs", 12, "iTbs for the static channel")
+		ladderName  = flag.String("ladder", "sim", "bitrate ladder: sim, testbed, fine")
+		segDur      = flag.Duration("segment", 10*time.Second, "segment duration")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		alpha       = flag.Float64("alpha", 1.0, "FLARE data/video priority")
+		delta       = flag.Int("delta", 4, "FLARE stability parameter")
+		relax       = flag.Bool("relax", false, "use FLARE's continuous-relaxation solver")
+		vbr         = flag.Float64("vbr", 0, "VBR segment-size jitter (0 = CBR, e.g. 0.3)")
+	)
+	flag.Parse()
+
+	scheme, ok := map[string]cellsim.Scheme{
+		"flare":   cellsim.SchemeFLARE,
+		"festive": cellsim.SchemeFESTIVE,
+		"google":  cellsim.SchemeGOOGLE,
+		"avis":    cellsim.SchemeAVIS,
+		"bba":     cellsim.SchemeBBA,
+		"mpc":     cellsim.SchemeMPC,
+	}[*schemeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flaresim: unknown scheme %q\n", *schemeName)
+		return 2
+	}
+	ladder, ok := map[string]has.Ladder{
+		"sim":     has.SimLadder(),
+		"testbed": has.TestbedLadder(),
+		"fine":    has.FineLadder(),
+	}[*ladderName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flaresim: unknown ladder %q\n", *ladderName)
+		return 2
+	}
+
+	cfg := cellsim.DefaultConfig(scheme)
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	cfg.NumVideo = *videos
+	cfg.NumData = *data
+	cfg.NumLegacy = *legacy
+	cfg.Ladder = ladder
+	cfg.SegmentDuration = *segDur
+	cfg.Flare.Alpha = *alpha
+	cfg.Flare.Delta = *delta
+	cfg.Flare.UseRelaxation = *relax
+	cfg.VBRJitter = *vbr
+
+	switch *channelName {
+	case "static":
+		cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: *iTbs}
+	case "cyclic":
+		cfg.Channel = cellsim.ChannelSpec{
+			Kind: cellsim.ChannelCyclic, CyclicMin: 1, CyclicMax: 12,
+			CyclicPeriod: 4 * time.Minute,
+		}
+	case "mobility":
+		cfg.Channel = cellsim.ChannelSpec{
+			Kind:     cellsim.ChannelMobility,
+			Mobility: lte.DefaultMobilityConfig(*videos + *data),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "flaresim: unknown channel %q\n", *channelName)
+		return 2
+	}
+
+	res, err := cellsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaresim: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("%s over %v (%d video, %d data, %s channel, seed %d)\n\n",
+		scheme, *duration, *videos, *data, *channelName, *seed)
+	tbl := metrics.NewTable("Per-client results",
+		"avg rate", "avg tput", "changes", "segments", "stall s", "startup s", "QoE")
+	addClient := func(kind string, c cellsim.ClientResult) {
+		tbl.AddRow(fmt.Sprintf("%s %d", kind, c.FlowID),
+			metrics.FormatKbps(c.AvgRateBps),
+			metrics.FormatKbps(c.AvgTputBps),
+			fmt.Sprintf("%d", c.NumChanges),
+			fmt.Sprintf("%d", c.Segments),
+			fmt.Sprintf("%.1f", c.StallSeconds),
+			fmt.Sprintf("%.1f", c.StartupDelaySeconds),
+			fmt.Sprintf("%.0f", c.QoEScore),
+		)
+	}
+	for _, c := range res.Clients {
+		addClient("video", c)
+	}
+	for _, c := range res.Legacy {
+		addClient("legacy", c)
+	}
+	for _, d := range res.Data {
+		tbl.AddRow(fmt.Sprintf("data %d", d.FlowID),
+			"-", metrics.FormatKbps(d.AvgTputBps), "-", "-", "-", "-", "-")
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("mean video rate:     %s\n", metrics.FormatKbps(res.MeanClientRate()))
+	fmt.Printf("mean changes:        %.1f\n", res.MeanChanges())
+	fmt.Printf("total stall:         %.1f s\n", res.TotalStallSeconds())
+	fmt.Printf("Jain (rates):        %.3f\n", res.JainOfRates())
+	fmt.Printf("Jain (tputs):        %.3f\n", res.JainOfTputs())
+	if n := len(res.SolveTimesSec); n > 0 {
+		cdf := metrics.NewCDF(res.SolveTimesSec)
+		fmt.Printf("solver (n=%d):       median %.3f ms, max %.3f ms\n",
+			n, cdf.Quantile(0.5)*1000, cdf.Max()*1000)
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+// Command mediaserver serves a synthetic DASH presentation over HTTP:
+// an MPD at /video/mpd.json and exact-size segments at
+// /video/seg/{index}/{representation}.
+//
+// Usage:
+//
+//	mediaserver [-addr :8090] [-ladder testbed|sim|fine] [-segment 2s] [-segments 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/testbed"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		ladderName = flag.String("ladder", "testbed", "bitrate ladder: testbed, sim, fine")
+		segDur     = flag.Duration("segment", 2*time.Second, "segment duration")
+		segments   = flag.Int("segments", 300, "total segments (0 = unbounded)")
+	)
+	flag.Parse()
+
+	ladder, ok := map[string]has.Ladder{
+		"sim":     has.SimLadder(),
+		"testbed": has.TestbedLadder(),
+		"fine":    has.FineLadder(),
+	}[*ladderName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mediaserver: unknown ladder %q\n", *ladderName)
+		return 2
+	}
+
+	ms, err := testbed.NewMediaServer(ladder, *segDur, *segments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mediaserver: %v\n", err)
+		return 1
+	}
+	fmt.Printf("mediaserver: listening on %s (%d representations, %v segments x %d)\n",
+		*addr, ladder.Len(), *segDur, *segments)
+	if err := http.ListenAndServe(*addr, ms.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "mediaserver: %v\n", err)
+		return 1
+	}
+	return 0
+}

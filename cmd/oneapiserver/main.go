@@ -1,0 +1,50 @@
+// Command oneapiserver runs a standalone OneAPI server: the network-side
+// half of FLARE, exposed over JSON/HTTP in the shape of the OMA RESTful
+// Network APIs. eNodeBs POST statistics reports to it; FLARE plugins
+// register sessions and poll assignments.
+//
+// Usage:
+//
+//	oneapiserver [-addr :8480] [-alpha 1.0] [-delta 4] [-bai 1s] [-relax]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/oneapi"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr  = flag.String("addr", ":8480", "listen address")
+		alpha = flag.Float64("alpha", 1.0, "data/video priority")
+		delta = flag.Int("delta", 4, "Algorithm 1 stability parameter")
+		bai   = flag.Duration("bai", time.Second, "bitrate assignment interval")
+		relax = flag.Bool("relax", false, "use the continuous-relaxation solver")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Alpha = *alpha
+	cfg.Delta = *delta
+	cfg.BAI = *bai
+	cfg.UseRelaxation = *relax
+
+	server := oneapi.NewServer(cfg, nil)
+	fmt.Printf("oneapiserver: listening on %s (alpha=%.2f delta=%d bai=%v relax=%v)\n",
+		*addr, *alpha, *delta, *bai, *relax)
+	if err := http.ListenAndServe(*addr, oneapi.Handler(server)); err != nil {
+		fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package flare_test
+
+import (
+	"fmt"
+	"time"
+
+	flare "github.com/flare-sim/flare"
+)
+
+// ExampleRunScenario runs a small deterministic FLARE cell and prints
+// its headline metrics.
+func ExampleRunScenario() {
+	cfg := flare.DefaultScenario(flare.SchemeFLARE)
+	cfg.Seed = 7
+	cfg.Duration = 60 * time.Second
+	cfg.NumVideo = 2
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Ladder = flare.TestbedLadder()
+	cfg.Channel = flare.ChannelSpec{Kind: flare.ChannelStatic, StaticITbs: 8}
+
+	res, err := flare.RunScenario(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("clients: %d\n", len(res.Clients))
+	fmt.Printf("stalls: %.0f s\n", res.TotalStallSeconds())
+	fmt.Printf("fair: %v\n", res.JainOfTputs() > 0.8)
+	// Output:
+	// clients: 2
+	// stalls: 0 s
+	// fair: true
+}
+
+// ExampleController drives the paper's bitrate optimiser directly: one
+// registered flow, three bitrate assignment intervals.
+func ExampleController() {
+	ctl := flare.NewController(flare.DefaultControllerConfig())
+	if err := ctl.Register(1, flare.SimLadder(), flare.Preferences{}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The eNodeB reports 20 bytes per resource block — a healthy radio.
+	stats := map[int]flare.FlowStats{1: {Bytes: 2_000_000, RBs: 100_000}}
+	for bai := 0; bai < 3; bai++ {
+		assignments, err := ctl.RunBAI(stats, 0)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("BAI %d: %.0f Kbps\n", bai+1, assignments[0].RateBps/1000)
+	}
+	// Output:
+	// BAI 1: 3000 Kbps
+	// BAI 2: 3000 Kbps
+	// BAI 3: 3000 Kbps
+}
+
+// ExampleLadder shows ladder selection helpers.
+func ExampleLadder() {
+	l := flare.NewLadderKbps(200, 310, 450, 790)
+	fmt.Println(l.Rate(l.HighestAtMost(500_000)))
+	fmt.Println(l.Rate(l.HighestAtMost(10_000)))
+	// Output:
+	// 450000
+	// 200000
+}

@@ -1,0 +1,59 @@
+// Coexistence: the paper's Figures 10-11 through the public API — video
+// and data flows sharing one FLARE cell, sweeping the alpha knob that
+// trades data throughput against video bitrate.
+//
+//	go run ./examples/coexistence
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	flare "github.com/flare-sim/flare"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "coexistence: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Video/data coexistence under FLARE: 4 video + 4 data flows, alpha sweep")
+	fmt.Println()
+	fmt.Printf("%-6s  %16s  %16s\n", "alpha", "video mean Kbps", "data mean Kbps")
+
+	for _, alpha := range []float64{0.25, 0.5, 1, 2, 4} {
+		cfg := flare.DefaultScenario(flare.SchemeFLARE)
+		cfg.Seed = 11
+		cfg.Duration = 4 * time.Minute
+		cfg.NumVideo = 4
+		cfg.NumData = 4
+		cfg.Ladder = flare.FineLadder()
+		cfg.Channel = flare.ChannelSpec{Kind: flare.ChannelStatic, StaticITbs: 8}
+		cfg.Flare.Alpha = alpha
+
+		res, err := flare.RunScenario(cfg)
+		if err != nil {
+			return err
+		}
+		var video, data float64
+		for _, c := range res.Clients {
+			video += c.AvgTputBps
+		}
+		video /= float64(len(res.Clients))
+		for _, d := range res.Data {
+			data += d.AvgTputBps
+		}
+		data /= float64(len(res.Data))
+		fmt.Printf("%-6.2f  %16.0f  %16.0f\n", alpha, video/1000, data/1000)
+	}
+
+	fmt.Println()
+	fmt.Println("Raising alpha shifts cell capacity from video bitrates to data flows")
+	fmt.Println("— the single-knob balance the paper's Figure 11 demonstrates, with no")
+	fmt.Println("static slicing involved.")
+	return nil
+}

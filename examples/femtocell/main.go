@@ -1,0 +1,176 @@
+// Femtocell: the paper's Section III testbed end-to-end over real HTTP —
+// a media server, a OneAPI server, a software eNodeB with the six MAC
+// modules, three FLARE-plugin video UEs, and one bulk-data UE, run at
+// 20x wall-clock speed (the Table I static scenario, compressed).
+//
+//	go run ./examples/femtocell
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/flare-sim/flare/internal/abr"
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/oneapi"
+	"github.com/flare-sim/flare/internal/testbed"
+)
+
+const (
+	numVideoUEs    = 3
+	scenarioLength = 120 * time.Second // virtual
+	speedup        = 20
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "femtocell: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Media server: the testbed ladder, 2 s segments.
+	ms, err := testbed.NewMediaServer(has.TestbedLadder(), 2*time.Second, 0)
+	if err != nil {
+		return err
+	}
+	mediaSrv := httptest.NewServer(ms.Handler())
+	defer mediaSrv.Close()
+
+	// OneAPI server: Table IV parameters, alpha=4 (see DESIGN.md).
+	apiCfg := core.DefaultConfig()
+	apiCfg.Alpha = 4
+	oneAPI := oneapi.NewServer(apiCfg, nil)
+	apiSrv := httptest.NewServer(oneapi.Handler(oneAPI))
+	defer apiSrv.Close()
+
+	// Software femtocell: static scenario, iTbs 2, one cell.
+	enb, err := testbed.NewENodeB(testbed.ENodeBConfig{
+		NumUEs:        numVideoUEs + 1,
+		InitialITbs:   2,
+		Speedup:       speedup,
+		OneAPIBaseURL: apiSrv.URL,
+		StatsInterval: time.Second,
+		NumDataFlows:  1,
+		HTTPClient:    apiSrv.Client(),
+	})
+	if err != nil {
+		return err
+	}
+	defer enb.Stop()
+	epc := testbed.NewEPC(enb)
+
+	fmt.Printf("femtocell testbed: %d video UEs + 1 data UE, iTbs=2 (~4.4 Mbps cell), %v at %dx speed\n\n",
+		numVideoUEs, scenarioLength, speedup)
+
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(float64(scenarioLength)/speedup)+10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	players := make([]*testbed.UEPlayer, numVideoUEs)
+	for i := 0; i < numVideoUEs; i++ {
+		sess, client, err := epc.Attach(lte.ClassVideo)
+		if err != nil {
+			return err
+		}
+		plugin := oneapi.NewClient(apiSrv.URL, 0, sess.BearerID, apiSrv.Client())
+		if err := plugin.Open(has.TestbedLadder(), core.Preferences{}); err != nil {
+			return err
+		}
+		defer plugin.Close()
+
+		player, err := testbed.NewUEPlayer(testbed.UEPlayerConfig{
+			MediaBaseURL:     mediaSrv.URL,
+			MaxBufferSeconds: 30,
+			PollAssignment: func() float64 {
+				a, ok, err := plugin.Poll()
+				if err != nil || !ok {
+					return 0
+				}
+				return a.RateBps
+			},
+		}, client, abr.NewFlarePlugin(), enb.Clock())
+		if err != nil {
+			return err
+		}
+		players[i] = player
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Context cancellation ends the session normally.
+			_ = player.Run(ctx)
+		}()
+	}
+
+	// The data UE: an iperf-style bulk download looping until the end.
+	_, dataClient, err := epc.Attach(lte.ClassData)
+	if err != nil {
+		return err
+	}
+	var dataBytes int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			n, err := bulkFetch(ctx, dataClient, testbed.SegmentURL(mediaSrv.URL, 0, 7))
+			dataBytes += n
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Progress report once per (virtual) 20 seconds.
+	for done := false; !done; {
+		select {
+		case <-ctx.Done():
+			done = true
+		case <-time.After(time.Duration(20.0 / speedup * float64(time.Second))):
+		}
+		if enb.Clock().Seconds() >= scenarioLength.Seconds() {
+			cancel()
+			done = true
+		}
+		fmt.Printf("t=%5.0fs:", enb.Clock().Seconds())
+		for i, p := range players {
+			st := p.Stats()
+			fmt.Printf("  UE%d %4.0fk (buf %4.1fs)", i, st.AvgRateBps/1000, st.BufferSeconds)
+		}
+		fmt.Println()
+	}
+	wg.Wait()
+
+	elapsed := enb.Clock().Seconds()
+	fmt.Println("\nfinal results (cf. paper Table I):")
+	for i, p := range players {
+		st := p.Stats()
+		fmt.Printf("  video UE%d: avg %4.0f Kbps, %d changes, %.1f s stalled, %d segments\n",
+			i, st.AvgRateBps/1000, st.Changes, st.StallSeconds, st.Segments)
+	}
+	fmt.Printf("  data UE:   %4.0f Kbps average\n", float64(dataBytes)*8/elapsed/1000)
+	return nil
+}
+
+// bulkFetch downloads one object through the shaped client.
+func bulkFetch(ctx context.Context, client *http.Client, url string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return io.Copy(io.Discard, resp.Body)
+}

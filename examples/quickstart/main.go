@@ -1,0 +1,59 @@
+// Quickstart: run FLARE and FESTIVE on the same cell and compare the
+// paper's headline metrics (average bitrate, stability, rebuffering).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	flare "github.com/flare-sim/flare"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("FLARE quickstart: 4 video clients + 1 data flow, 3 minutes, static cell")
+	fmt.Println()
+
+	for _, scheme := range []flare.Scheme{flare.SchemeFLARE, flare.SchemeFESTIVE} {
+		cfg := flare.DefaultScenario(scheme)
+		cfg.Seed = 7
+		cfg.Duration = 3 * time.Minute
+		cfg.NumVideo = 4
+		cfg.NumData = 1
+		cfg.Ladder = flare.TestbedLadder()
+		cfg.SegmentDuration = 2 * time.Second
+		cfg.Channel = flare.ChannelSpec{Kind: flare.ChannelStatic, StaticITbs: 4}
+
+		res, err := flare.RunScenario(cfg)
+		if err != nil {
+			return err
+		}
+		var qoeSum float64
+		for _, c := range res.Clients {
+			qoeSum += c.QoEScore
+		}
+		fmt.Printf("%-8s mean bitrate %7.0f Kbps | %4.1f changes/client | %5.1f s stalled | data %7.0f Kbps | QoE %5.0f\n",
+			scheme.String(),
+			res.MeanClientRate()/1000,
+			res.MeanChanges(),
+			res.TotalStallSeconds(),
+			res.Data[0].AvgTputBps/1000,
+			qoeSum/float64(len(res.Clients)),
+		)
+	}
+
+	fmt.Println()
+	fmt.Println("FLARE coordinates bitrates through the network: fewer switches at a")
+	fmt.Println("comparable or higher bitrate, with the data flow's share set by the")
+	fmt.Println("alpha knob instead of TCP-level contention.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/flare-sim/flare
+
+go 1.22

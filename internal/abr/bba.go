@@ -1,0 +1,83 @@
+package abr
+
+import "github.com/flare-sim/flare/internal/has"
+
+// BBAConfig parameterises the buffer-based adapter.
+type BBAConfig struct {
+	// ReservoirSeconds is the buffer level below which the lowest rate
+	// is selected.
+	ReservoirSeconds float64
+	// CushionSeconds is the buffer level above which the highest rate
+	// is selected; between reservoir and cushion the rate map is linear.
+	CushionSeconds float64
+}
+
+// DefaultBBAConfig returns the classic BBA-0 operating points scaled to
+// the 30 s buffers used in this reproduction.
+func DefaultBBAConfig() BBAConfig {
+	return BBAConfig{ReservoirSeconds: 5, CushionSeconds: 22}
+}
+
+// BBA implements the buffer-based rate adaptation of Huang et al.
+// (SIGCOMM'14), the BBA-0 variant: the bitrate is a function of the
+// playout buffer alone — no throughput estimation at all. It is included
+// as an extension baseline beyond the paper's three comparison schemes:
+// buffer-based adaptation is the other major client-side school, and it
+// makes an instructive contrast with FLARE (both avoid throughput-
+// estimation noise, by entirely different means).
+type BBA struct {
+	cfg BBAConfig
+}
+
+var _ has.Adapter = (*BBA)(nil)
+
+// NewBBA builds a BBA-0 adapter.
+func NewBBA(cfg BBAConfig) *BBA {
+	if cfg.ReservoirSeconds <= 0 {
+		cfg.ReservoirSeconds = DefaultBBAConfig().ReservoirSeconds
+	}
+	if cfg.CushionSeconds <= cfg.ReservoirSeconds {
+		cfg.CushionSeconds = cfg.ReservoirSeconds + 10
+	}
+	return &BBA{cfg: cfg}
+}
+
+// Name implements has.Adapter.
+func (b *BBA) Name() string { return "bba" }
+
+// OnSegmentComplete implements has.Adapter; BBA keeps no download state.
+func (b *BBA) OnSegmentComplete(has.SegmentRecord) {}
+
+// NextQuality implements has.Adapter: the rate map f(buffer) with the
+// BBA-0 hysteresis — only move when the mapped rate crosses the next
+// rung up (rate+ ) or falls below the current rung (rate-).
+func (b *BBA) NextQuality(s has.State) int {
+	if s.LastQuality < 0 {
+		return 0
+	}
+	cur := s.Ladder.Clamp(s.LastQuality)
+	mapped := b.mappedRate(s)
+	switch {
+	case cur+1 < s.Ladder.Len() && mapped >= s.Ladder.Rate(cur+1):
+		return cur + 1
+	case mapped < s.Ladder.Rate(cur):
+		return s.Ladder.HighestAtMost(mapped)
+	default:
+		return cur
+	}
+}
+
+// mappedRate is the linear buffer-to-rate map.
+func (b *BBA) mappedRate(s has.State) float64 {
+	minR, maxR := s.Ladder.Min(), s.Ladder.Max()
+	switch {
+	case s.BufferSeconds <= b.cfg.ReservoirSeconds:
+		return minR
+	case s.BufferSeconds >= b.cfg.CushionSeconds:
+		return maxR
+	default:
+		frac := (s.BufferSeconds - b.cfg.ReservoirSeconds) /
+			(b.cfg.CushionSeconds - b.cfg.ReservoirSeconds)
+		return minR + frac*(maxR-minR)
+	}
+}

@@ -1,0 +1,91 @@
+// Package abr implements the client-side rate-adaptation algorithms the
+// paper evaluates: FESTIVE (Jiang et al., CoNEXT'12), GOOGLE (the
+// MPEG-DASH / Media Source demo player heuristic), the simple
+// throughput-chasing client used with AVIS, and the FLARE plugin that
+// strictly follows the bitrate assigned by the OneAPI server.
+package abr
+
+import "github.com/flare-sim/flare/internal/metrics"
+
+// History is a fixed-capacity ring of recent per-segment throughput
+// samples (bits/s) with the aggregate views the adapters need.
+type History struct {
+	samples []float64
+	next    int
+	full    bool
+}
+
+// NewHistory creates a history holding up to n samples. n must be
+// positive; it is clamped to 1 otherwise.
+func NewHistory(n int) *History {
+	if n < 1 {
+		n = 1
+	}
+	return &History{samples: make([]float64, n)}
+}
+
+// Add records a throughput sample.
+func (h *History) Add(bps float64) {
+	h.samples[h.next] = bps
+	h.next++
+	if h.next == len(h.samples) {
+		h.next = 0
+		h.full = true
+	}
+}
+
+// Len returns the number of recorded samples (up to capacity).
+func (h *History) Len() int {
+	if h.full {
+		return len(h.samples)
+	}
+	return h.next
+}
+
+// values returns the most recent min(k, Len) samples, oldest first.
+func (h *History) values(k int) []float64 {
+	n := h.Len()
+	if k > n {
+		k = n
+	}
+	out := make([]float64, 0, k)
+	start := h.next - k
+	if start < 0 {
+		start += len(h.samples)
+	}
+	for i := 0; i < k; i++ {
+		out = append(out, h.samples[(start+i)%len(h.samples)])
+	}
+	return out
+}
+
+// HarmonicMean returns the harmonic mean of the last k samples (all when
+// k <= 0), or 0 when empty. HAS systems use the harmonic mean because it
+// is robust to single large outliers.
+func (h *History) HarmonicMean(k int) float64 {
+	if k <= 0 {
+		k = h.Len()
+	}
+	return metrics.HarmonicMean(h.values(k))
+}
+
+// Mean returns the arithmetic mean of the last k samples (all when
+// k <= 0), or 0 when empty.
+func (h *History) Mean(k int) float64 {
+	if k <= 0 {
+		k = h.Len()
+	}
+	return metrics.Mean(h.values(k))
+}
+
+// Last returns the most recent sample, or 0 when empty.
+func (h *History) Last() float64 {
+	if h.Len() == 0 {
+		return 0
+	}
+	i := h.next - 1
+	if i < 0 {
+		i += len(h.samples)
+	}
+	return h.samples[i]
+}

@@ -1,0 +1,166 @@
+package abr
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// --- BBA ---
+
+func TestBBAStartsLowest(t *testing.T) {
+	b := NewBBA(DefaultBBAConfig())
+	if q := b.NextQuality(state(has.SimLadder(), -1, 0)); q != 0 {
+		t.Fatalf("first pick %d", q)
+	}
+}
+
+func TestBBABufferMap(t *testing.T) {
+	b := NewBBA(BBAConfig{ReservoirSeconds: 5, CushionSeconds: 25})
+	l := has.SimLadder()
+	// Below reservoir: mapped rate is the minimum -> step down toward 0.
+	if q := b.NextQuality(state(l, 3, 2)); q != 0 {
+		t.Fatalf("below reservoir picked %d", q)
+	}
+	// Above cushion: mapped rate is the maximum -> step up one.
+	if q := b.NextQuality(state(l, 3, 28)); q != 4 {
+		t.Fatalf("above cushion picked %d, want one step up", q)
+	}
+	// Mid-cushion where the mapped rate (~680 kbps at buffer 9) sits
+	// between the current rung (500k) and the next (1M): hold.
+	midState := state(l, 2, 9)
+	if q := b.NextQuality(midState); q != 2 {
+		t.Fatalf("mid-cushion moved to %d", q)
+	}
+}
+
+func TestBBAMonotoneInBuffer(t *testing.T) {
+	b := NewBBA(DefaultBBAConfig())
+	l := has.SimLadder()
+	prev := -1
+	for buf := 0.0; buf <= 30; buf += 1 {
+		q := b.NextQuality(state(l, 3, buf))
+		if prev >= 0 && q < prev && buf > 1 {
+			// Mapped rate grows with buffer; from a fixed current level
+			// the decision must be non-decreasing in buffer.
+			t.Fatalf("decision fell from %d to %d at buffer %v", prev, q, buf)
+		}
+		prev = q
+	}
+}
+
+func TestBBAConfigClamping(t *testing.T) {
+	b := NewBBA(BBAConfig{ReservoirSeconds: -1, CushionSeconds: -5})
+	if q := b.NextQuality(state(has.SimLadder(), 0, 10)); q < 0 {
+		t.Fatal("clamped config broke selection")
+	}
+	if b.Name() != "bba" {
+		t.Fatal("name")
+	}
+}
+
+// --- MPC ---
+
+func TestMPCStartsLowest(t *testing.T) {
+	m := NewMPC(DefaultMPCConfig())
+	if q := m.NextQuality(state(has.SimLadder(), -1, 0)); q != 0 {
+		t.Fatalf("first pick %d", q)
+	}
+	if m.Name() != "mpc" {
+		t.Fatal("name")
+	}
+}
+
+func TestMPCClimbsWithBandwidthAndBuffer(t *testing.T) {
+	cfg := DefaultMPCConfig()
+	cfg.SegmentSeconds = 2
+	m := NewMPC(cfg)
+	l := has.SimLadder()
+	// With 8 Mbps predictions and a full buffer, one switch penalty is
+	// worth the sustained quality gain: MPC moves up decisively and
+	// then holds (no oscillation).
+	cur := 0
+	var picks []int
+	for seg := 0; seg < 12; seg++ {
+		m.OnSegmentComplete(rec(cur, 8e6))
+		cur = m.NextQuality(state(l, cur, 20))
+		picks = append(picks, cur)
+	}
+	if cur < 4 {
+		t.Fatalf("MPC stuck at %d with 8 Mbps predictions", cur)
+	}
+	for i := 4; i < len(picks); i++ {
+		if picks[i] != picks[i-1] {
+			t.Fatalf("MPC oscillated in steady state: %v", picks)
+		}
+	}
+}
+
+func TestMPCAvoidsRebuffering(t *testing.T) {
+	cfg := DefaultMPCConfig()
+	cfg.SegmentSeconds = 2
+	m := NewMPC(cfg)
+	l := has.SimLadder()
+	// 600 kbps predicted throughput, nearly empty buffer: picking 2 or
+	// 3 Mbps would stall; MPC must stay at or below 500 kbps.
+	for i := 0; i < 5; i++ {
+		m.OnSegmentComplete(rec(4, 600_000))
+	}
+	q := m.NextQuality(state(l, 4, 1))
+	if rate := l.Rate(q); rate > 600_000 {
+		t.Fatalf("MPC picked %v bps against 600k prediction with empty buffer", rate)
+	}
+}
+
+func TestMPCRobustDiscountsAfterMisprediction(t *testing.T) {
+	cfg := DefaultMPCConfig()
+	cfg.SegmentSeconds = 2
+	m := NewMPC(cfg)
+	l := has.SimLadder()
+	// Stable 2.4 Mbps history.
+	for i := 0; i < 5; i++ {
+		m.OnSegmentComplete(rec(3, 2_400_000))
+	}
+	m.NextQuality(state(l, 3, 10)) // records a prediction
+	// Reality comes in far below the prediction.
+	m.OnSegmentComplete(rec(3, 800_000))
+	if m.maxErr == 0 {
+		t.Fatal("prediction error not tracked")
+	}
+	// The discounted prediction must now be well below the raw mean.
+	qRobust := m.NextQuality(state(l, 3, 4))
+	m2 := NewMPC(MPCConfig{Horizon: 5, SegmentSeconds: 2, MuRebuffer: 3000, HistorySegments: 5, Robust: false})
+	for _, tp := range []float64{2.4e6, 2.4e6, 2.4e6, 2.4e6, 0.8e6} {
+		m2.OnSegmentComplete(rec(3, tp))
+	}
+	qPlain := m2.NextQuality(state(l, 3, 4))
+	if qRobust > qPlain {
+		t.Fatalf("robust pick %d above plain pick %d", qRobust, qPlain)
+	}
+}
+
+func TestMPCEmergencyDropReachesFloor(t *testing.T) {
+	cfg := DefaultMPCConfig()
+	cfg.SegmentSeconds = 2
+	m := NewMPC(cfg)
+	l := has.SimLadder()
+	// Throughput collapses to 150 kbps with an empty buffer: the first
+	// decision must crash all the way down, not descend one rung.
+	for i := 0; i < 5; i++ {
+		m.OnSegmentComplete(rec(5, 150_000))
+	}
+	if q := m.NextQuality(state(l, 5, 0.5)); q != 0 {
+		t.Fatalf("MPC picked %d during collapse, want 0", q)
+	}
+}
+
+func TestQoEMonotone(t *testing.T) {
+	prev := qoe(100_000)
+	for _, r := range []float64{250_000, 500_000, 1e6, 3e6} {
+		v := qoe(r)
+		if v <= prev {
+			t.Fatalf("qoe not increasing at %v", r)
+		}
+		prev = v
+	}
+}

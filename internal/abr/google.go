@@ -1,0 +1,66 @@
+package abr
+
+import "github.com/flare-sim/flare/internal/has"
+
+// GoogleConfig parameterises the MPEG-DASH / Media Source demo player
+// heuristic the paper calls GOOGLE: two bandwidth estimates from the
+// long- and short-term histories, selecting the highest rate at or below
+// P * min(long, short).
+type GoogleConfig struct {
+	// P is the safety factor (the paper uses 0.85).
+	P float64
+	// LongSegments and ShortSegments are the two estimation windows.
+	LongSegments, ShortSegments int
+}
+
+// DefaultGoogleConfig returns the demo player's settings.
+func DefaultGoogleConfig() GoogleConfig {
+	return GoogleConfig{P: 0.85, LongSegments: 10, ShortSegments: 3}
+}
+
+// Google implements the GOOGLE baseline. Unlike FESTIVE it has no
+// gradual-switching or stability logic — it jumps straight to the
+// estimated rate, which is why the paper observes aggressive selections
+// and frequent rebuffering.
+type Google struct {
+	cfg  GoogleConfig
+	hist *History
+}
+
+var _ has.Adapter = (*Google)(nil)
+
+// NewGoogle builds a GOOGLE adapter.
+func NewGoogle(cfg GoogleConfig) *Google {
+	if cfg.LongSegments < 1 {
+		cfg.LongSegments = 1
+	}
+	if cfg.ShortSegments < 1 {
+		cfg.ShortSegments = 1
+	}
+	if cfg.ShortSegments > cfg.LongSegments {
+		cfg.ShortSegments = cfg.LongSegments
+	}
+	return &Google{cfg: cfg, hist: NewHistory(cfg.LongSegments)}
+}
+
+// Name implements has.Adapter.
+func (g *Google) Name() string { return "google" }
+
+// OnSegmentComplete implements has.Adapter.
+func (g *Google) OnSegmentComplete(rec has.SegmentRecord) {
+	g.hist.Add(rec.ThroughputBps)
+}
+
+// NextQuality implements has.Adapter.
+func (g *Google) NextQuality(s has.State) int {
+	if g.hist.Len() == 0 {
+		return 0
+	}
+	long := g.hist.Mean(g.cfg.LongSegments)
+	short := g.hist.Mean(g.cfg.ShortSegments)
+	est := long
+	if short < est {
+		est = short
+	}
+	return s.Ladder.HighestAtMost(g.cfg.P * est)
+}

@@ -1,0 +1,152 @@
+package abr
+
+import (
+	"math"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// MPCConfig parameterises the model-predictive-control adapter.
+type MPCConfig struct {
+	// Horizon is the look-ahead in segments.
+	Horizon int
+	// SegmentSeconds is the segment play length (needed to predict
+	// download times and rebuffering).
+	SegmentSeconds float64
+	// LambdaSwitch weights the bitrate-change penalty.
+	LambdaSwitch float64
+	// MuRebuffer weights the predicted rebuffering penalty (per second).
+	MuRebuffer float64
+	// HistorySegments is the throughput-prediction window.
+	HistorySegments int
+	// Robust discounts the throughput prediction by the maximum recent
+	// relative prediction error (the RobustMPC variant).
+	Robust bool
+}
+
+// DefaultMPCConfig returns the standard RobustMPC settings for 10 s
+// segments.
+func DefaultMPCConfig() MPCConfig {
+	return MPCConfig{
+		Horizon:         5,
+		SegmentSeconds:  10,
+		LambdaSwitch:    1,
+		MuRebuffer:      3000, // ~3x the top utility per second of stall
+		HistorySegments: 5,
+		Robust:          true,
+	}
+}
+
+// MPC implements the control-theoretic adapter of Yin et al.
+// (SIGCOMM'15), which the paper cites as the state of the art in
+// client-side adaptation: choose the bitrate sequence over a short
+// horizon that maximises a QoE objective (bitrate utility − switching
+// penalty − rebuffering penalty) under a throughput prediction, then
+// apply only the first decision. Included as an extension baseline.
+type MPC struct {
+	cfg  MPCConfig
+	hist *History
+
+	lastPrediction float64
+	maxErr         float64
+}
+
+var _ has.Adapter = (*MPC)(nil)
+
+// NewMPC builds an MPC adapter.
+func NewMPC(cfg MPCConfig) *MPC {
+	def := DefaultMPCConfig()
+	if cfg.Horizon < 1 {
+		cfg.Horizon = def.Horizon
+	}
+	if cfg.SegmentSeconds <= 0 {
+		cfg.SegmentSeconds = def.SegmentSeconds
+	}
+	if cfg.HistorySegments < 1 {
+		cfg.HistorySegments = def.HistorySegments
+	}
+	return &MPC{cfg: cfg, hist: NewHistory(cfg.HistorySegments)}
+}
+
+// Name implements has.Adapter.
+func (m *MPC) Name() string { return "mpc" }
+
+// OnSegmentComplete implements has.Adapter: record the sample and track
+// the prediction error for the robust discount.
+func (m *MPC) OnSegmentComplete(rec has.SegmentRecord) {
+	if m.lastPrediction > 0 {
+		err := math.Abs(m.lastPrediction-rec.ThroughputBps) / m.lastPrediction
+		// Decay the error envelope so ancient mispredictions fade.
+		m.maxErr = math.Max(0.8*m.maxErr, err)
+	}
+	m.hist.Add(rec.ThroughputBps)
+}
+
+// NextQuality implements has.Adapter: exhaustive search over the
+// gradual-path space of bitrate sequences (each step moves at most one
+// level, the MPC fast-table trick), scoring each by predicted QoE.
+func (m *MPC) NextQuality(s has.State) int {
+	if s.LastQuality < 0 || m.hist.Len() == 0 {
+		return 0
+	}
+	pred := m.hist.HarmonicMean(0)
+	if m.cfg.Robust && m.maxErr > 0 {
+		pred /= 1 + m.maxErr
+	}
+	m.lastPrediction = pred
+	if pred <= 0 {
+		return 0
+	}
+
+	cur := s.Ladder.Clamp(s.LastQuality)
+	bestFirst, bestScore := cur, math.Inf(-1)
+	// The first step — the only decision actually applied — searches
+	// the whole ladder (an emergency drop must be reachable in one
+	// step); the remaining horizon steps move at most one level, which
+	// prunes the search the way MPC's fast-table variant does.
+	paths := 1
+	for i := 1; i < m.cfg.Horizon; i++ {
+		paths *= 3
+	}
+	for first := 0; first < s.Ladder.Len(); first++ {
+		for p := 0; p < paths; p++ {
+			score := m.scorePath(s, cur, first, pred, p)
+			if score > bestScore {
+				bestScore, bestFirst = score, first
+			}
+		}
+	}
+	return bestFirst
+}
+
+// scorePath simulates one path — a first level plus delta-encoded
+// follow-ups — and returns its QoE score.
+func (m *MPC) scorePath(s has.State, cur, first int, pred float64, path int) float64 {
+	buffer := s.BufferSeconds
+	level := first
+	prev := cur
+	score := 0.0
+	for k := 0; k < m.cfg.Horizon; k++ {
+		if k > 0 {
+			delta := path%3 - 1
+			path /= 3
+			level = s.Ladder.Clamp(level + delta)
+		}
+		rate := s.Ladder.Rate(level)
+		dl := rate * m.cfg.SegmentSeconds / pred // download seconds
+		rebuf := math.Max(0, dl-buffer)
+		buffer = math.Max(0, buffer-dl) + m.cfg.SegmentSeconds
+
+		score += qoe(rate) -
+			m.cfg.LambdaSwitch*math.Abs(qoe(rate)-qoe(s.Ladder.Rate(prev))) -
+			m.cfg.MuRebuffer*rebuf
+		prev = level
+	}
+	return score
+}
+
+// qoe is the per-segment bitrate utility (log-scaled, in "quality
+// points" comparable across ladders).
+func qoe(rateBps float64) float64 {
+	return 1000 * math.Log(rateBps/1e5)
+}

@@ -1,0 +1,56 @@
+package abr
+
+import "github.com/flare-sim/flare/internal/has"
+
+// FlarePlugin is the FLARE client-side plugin's adaptation behaviour:
+// the player always uses the bitrate most recently assigned by the
+// OneAPI server, optionally clipped by a client-side preference cap
+// (e.g. a mobile-data budget). Before the first assignment arrives it
+// streams at the lowest rate.
+//
+// This strict enforcement is FLARE's key coordination property — "FLARE
+// ensures ... that UEs always utilize the bitrates assigned by the HAS
+// network entity" — and is what removes the request/assignment mismatch
+// seen in network-only systems.
+type FlarePlugin struct {
+	assignedBps float64
+	maxBps      float64 // 0 = no client cap
+}
+
+var _ has.Adapter = (*FlarePlugin)(nil)
+
+// NewFlarePlugin builds a plugin adapter with no assignment yet.
+func NewFlarePlugin() *FlarePlugin { return &FlarePlugin{} }
+
+// Name implements has.Adapter.
+func (p *FlarePlugin) Name() string { return "flare" }
+
+// SetAssignedBps installs the bitrate assigned by the OneAPI server.
+func (p *FlarePlugin) SetAssignedBps(bps float64) { p.assignedBps = bps }
+
+// AssignedBps returns the current assignment (0 before the first one).
+func (p *FlarePlugin) AssignedBps() float64 { return p.assignedBps }
+
+// SetMaxBps installs a client-side bitrate cap; 0 removes it. The cap is
+// one of the optional client preferences Section II-B describes ("the
+// client can specify an upper bound on its bitrate").
+func (p *FlarePlugin) SetMaxBps(bps float64) { p.maxBps = bps }
+
+// MaxBps returns the client-side cap (0 = none).
+func (p *FlarePlugin) MaxBps() float64 { return p.maxBps }
+
+// OnSegmentComplete implements has.Adapter. The plugin does not estimate
+// bandwidth — the network knows the radio state better than the client.
+func (p *FlarePlugin) OnSegmentComplete(has.SegmentRecord) {}
+
+// NextQuality implements has.Adapter.
+func (p *FlarePlugin) NextQuality(s has.State) int {
+	bps := p.assignedBps
+	if p.maxBps > 0 && (bps == 0 || p.maxBps < bps) {
+		bps = p.maxBps
+	}
+	if bps <= 0 {
+		return 0
+	}
+	return s.Ladder.HighestAtMost(bps)
+}

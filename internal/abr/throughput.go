@@ -1,0 +1,41 @@
+package abr
+
+import "github.com/flare-sim/flare/internal/has"
+
+// Throughput is the simple client-side adaptation the paper pairs with
+// AVIS: "a simple rate adaptation algorithm on a UE that requests the
+// highest possible rate based on the estimated throughput". The estimate
+// is the harmonic mean of the last few segments with no safety factor, so
+// the client chases whatever the network-enforced MBR lets through —
+// producing the client/network mismatch the paper attributes to AVIS.
+type Throughput struct {
+	hist   *History
+	window int
+}
+
+var _ has.Adapter = (*Throughput)(nil)
+
+// NewThroughput builds the adapter with the given estimation window
+// (segments); windows below 1 are clamped to 3.
+func NewThroughput(window int) *Throughput {
+	if window < 1 {
+		window = 3
+	}
+	return &Throughput{hist: NewHistory(window), window: window}
+}
+
+// Name implements has.Adapter.
+func (t *Throughput) Name() string { return "throughput" }
+
+// OnSegmentComplete implements has.Adapter.
+func (t *Throughput) OnSegmentComplete(rec has.SegmentRecord) {
+	t.hist.Add(rec.ThroughputBps)
+}
+
+// NextQuality implements has.Adapter.
+func (t *Throughput) NextQuality(s has.State) int {
+	if t.hist.Len() == 0 {
+		return 0
+	}
+	return s.Ladder.HighestAtMost(t.hist.HarmonicMean(0))
+}

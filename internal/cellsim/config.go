@@ -1,0 +1,225 @@
+// Package cellsim is the integration layer of the reproduction: it wires
+// a channel model, a scheduler, TCP flows, HAS players, and one of the
+// rate-adaptation systems (FLARE, FESTIVE, GOOGLE, AVIS) into a single
+// deterministic cell simulation, and extracts the QoE metrics the
+// paper's evaluation reports.
+package cellsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flare-sim/flare/internal/abr"
+	"github.com/flare-sim/flare/internal/avis"
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/transport"
+)
+
+// Scheme selects the rate-adaptation system under test.
+type Scheme int
+
+// The schemes the paper evaluates, plus two extension baselines from
+// the client-side literature it cites (buffer-based adaptation and
+// model-predictive control).
+const (
+	SchemeFLARE Scheme = iota + 1
+	SchemeFESTIVE
+	SchemeGOOGLE
+	SchemeAVIS
+	SchemeBBA
+	SchemeMPC
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeFLARE:
+		return "FLARE"
+	case SchemeFESTIVE:
+		return "FESTIVE"
+	case SchemeGOOGLE:
+		return "GOOGLE"
+	case SchemeAVIS:
+		return "AVIS"
+	case SchemeBBA:
+		return "BBA"
+	case SchemeMPC:
+		return "MPC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ChannelKind selects the link model.
+type ChannelKind int
+
+// Channel kinds.
+const (
+	ChannelStatic ChannelKind = iota + 1
+	ChannelCyclic
+	ChannelMobility
+	ChannelTrace
+)
+
+// ChannelSpec describes the channel model for a scenario.
+type ChannelSpec struct {
+	Kind ChannelKind
+	// StaticITbs is the per-UE MCS for ChannelStatic.
+	StaticITbs int
+	// CyclicMin/Max/Period parameterise ChannelCyclic; per-UE phase
+	// offsets are spread evenly across the period, modelling the
+	// paper's "each UE starts the cycle with a different offset".
+	CyclicMin, CyclicMax int
+	CyclicPeriod         time.Duration
+	// Mobility parameterises ChannelMobility (NumUEs is overridden).
+	Mobility lte.MobilityConfig
+	// Traces are per-UE iTbs traces for ChannelTrace.
+	Traces    [][]int
+	TraceStep time.Duration
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Duration is the simulated time.
+	Duration time.Duration
+	// NumVideo and NumData are the flow populations (one UE each).
+	NumVideo, NumData int
+	// NumLegacy adds conventional (FESTIVE) HAS players that are NOT
+	// FLARE-coordinated: the paper's Section V deployment story, where
+	// unmodified players coexist by being "serviced like other data
+	// traffic without any bitrate guarantees". Their flows ride
+	// best-effort bearers and count as data flows at the PCRF.
+	NumLegacy int
+	// Ladder is the video encoding ladder.
+	Ladder has.Ladder
+	// SegmentDuration is the video segment length (Table III: 10 s).
+	SegmentDuration time.Duration
+	// VBRJitter sizes segments variably around the nominal encoding
+	// rate (see has.MPD.SizeJitter). 0 = CBR.
+	VBRJitter float64
+	// StatsLossRate drops each BAI's statistics report with this
+	// probability (control-plane failure injection: the OneAPI overlay
+	// rides a real network, and a lost report must only delay
+	// adaptation — installed GBRs and the last assignment persist).
+	StatsLossRate float64
+	// LowBufferCapSeconds is the FLARE plugin's buffer-feedback
+	// threshold (Section II-B: "if the current amount of buffered video
+	// is relatively small ... the client can specify an upper bound on
+	// its bitrate to quickly fill the buffer"). While a player's buffer
+	// sits below this level, its plugin caps the assignment one ladder
+	// level below the current one so downloads outpace playback.
+	// Negative disables; 0 uses the default (6 s).
+	LowBufferCapSeconds float64
+	// Scheme is the system under test.
+	Scheme Scheme
+	// Channel is the link model.
+	Channel ChannelSpec
+
+	// Flare configures the FLARE controller (BAI, alpha, delta, solver).
+	Flare core.Config
+	// Avis configures the AVIS allocator.
+	Avis avis.Config
+	// Festive and Google configure the client baselines.
+	Festive abr.FestiveConfig
+	Google  abr.GoogleConfig
+	// Player configures the HAS player (buffer cap per the scenario).
+	Player has.PlayerConfig
+	// Transport configures the TCP model.
+	Transport transport.Config
+
+	// VideoArrivals optionally staggers video-session start times (one
+	// entry per video client). Unset clients start within the first two
+	// seconds. The paper's Algorithm 1 explicitly permits bitrate drops
+	// when "several new clients enter the system"; arrival schedules
+	// exercise that path.
+	VideoArrivals []time.Duration
+	// VideoDepartures optionally ends video sessions early (one entry
+	// per video client; 0 = stream to the end). Departed FLARE sessions
+	// are unregistered from the OneAPI server, releasing their share.
+	VideoDepartures []time.Duration
+
+	// CollectSeries enables per-second time-series collection (the
+	// Figure 4/5 views); off by default to keep large sweeps lean.
+	CollectSeries bool
+	// SampleEvery is the series sampling period (default 1 s).
+	SampleEvery time.Duration
+}
+
+// DefaultConfig returns a baseline configuration for the given scheme:
+// Table III simulation settings with Table IV parameters.
+func DefaultConfig(scheme Scheme) Config {
+	return Config{
+		Seed:            1,
+		Duration:        1200 * time.Second,
+		NumVideo:        8,
+		NumData:         0,
+		Ladder:          has.SimLadder(),
+		SegmentDuration: 10 * time.Second,
+		Scheme:          scheme,
+		Channel:         ChannelSpec{Kind: ChannelStatic, StaticITbs: 12},
+		Flare:           core.DefaultConfig(),
+		Avis:            avis.DefaultConfig(),
+		Festive:         abr.DefaultFestiveConfig(),
+		Google:          abr.DefaultGoogleConfig(),
+		Player:          has.DefaultPlayerConfig(),
+		Transport:       transport.DefaultConfig(),
+		SampleEvery:     time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("cellsim: duration must be positive, got %v", c.Duration)
+	}
+	if c.NumVideo < 0 || c.NumData < 0 || c.NumLegacy < 0 {
+		return fmt.Errorf("cellsim: negative flow counts (%d video, %d data, %d legacy)",
+			c.NumVideo, c.NumData, c.NumLegacy)
+	}
+	if c.NumVideo+c.NumData+c.NumLegacy == 0 {
+		return fmt.Errorf("cellsim: no flows configured")
+	}
+	if c.NumVideo > 0 || c.NumLegacy > 0 {
+		if err := c.Ladder.Validate(); err != nil {
+			return fmt.Errorf("cellsim: %w", err)
+		}
+		if c.SegmentDuration <= 0 {
+			return fmt.Errorf("cellsim: segment duration must be positive, got %v", c.SegmentDuration)
+		}
+	}
+	switch c.Scheme {
+	case SchemeFLARE, SchemeFESTIVE, SchemeGOOGLE, SchemeAVIS, SchemeBBA, SchemeMPC:
+	default:
+		return fmt.Errorf("cellsim: unknown scheme %d", int(c.Scheme))
+	}
+	if c.StatsLossRate < 0 || c.StatsLossRate >= 1 {
+		if c.StatsLossRate != 0 {
+			return fmt.Errorf("cellsim: stats loss rate %v out of [0, 1)", c.StatsLossRate)
+		}
+	}
+	if len(c.VideoArrivals) > 0 && len(c.VideoArrivals) != c.NumVideo {
+		return fmt.Errorf("cellsim: %d arrivals for %d video clients", len(c.VideoArrivals), c.NumVideo)
+	}
+	if len(c.VideoDepartures) > 0 && len(c.VideoDepartures) != c.NumVideo {
+		return fmt.Errorf("cellsim: %d departures for %d video clients", len(c.VideoDepartures), c.NumVideo)
+	}
+	switch c.Channel.Kind {
+	case ChannelStatic:
+	case ChannelCyclic:
+		if c.Channel.CyclicPeriod <= 0 {
+			return fmt.Errorf("cellsim: cyclic channel needs a positive period")
+		}
+	case ChannelMobility:
+	case ChannelTrace:
+		if len(c.Channel.Traces) == 0 || c.Channel.TraceStep <= 0 {
+			return fmt.Errorf("cellsim: trace channel needs traces and a positive step")
+		}
+	default:
+		return fmt.Errorf("cellsim: unknown channel kind %d", int(c.Channel.Kind))
+	}
+	return nil
+}

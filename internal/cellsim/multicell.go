@@ -1,0 +1,57 @@
+package cellsim
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/flare-sim/flare/internal/oneapi"
+)
+
+// MultiResult holds the per-cell outcomes of a multi-cell run.
+type MultiResult struct {
+	// Cells holds one Result per configured cell, in order.
+	Cells []*Result
+}
+
+// RunMulti executes several FLARE cells against one shared OneAPI
+// server — the paper's multi-BS deployment. Cells are radio-independent
+// (bitrates are computed per cell), so they run concurrently; each
+// cell's result is as deterministic as its own seed.
+func RunMulti(server *oneapi.Server, cells ...Config) (*MultiResult, error) {
+	if server == nil {
+		return nil, fmt.Errorf("cellsim: RunMulti needs a OneAPI server")
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("cellsim: RunMulti needs at least one cell")
+	}
+	sims := make([]*Sim, len(cells))
+	for i, cfg := range cells {
+		if cfg.Scheme != SchemeFLARE {
+			return nil, fmt.Errorf("cellsim: RunMulti cell %d: only FLARE cells share a OneAPI server", i)
+		}
+		s, err := NewInCell(cfg, server, i)
+		if err != nil {
+			return nil, fmt.Errorf("cellsim: cell %d: %w", i, err)
+		}
+		sims[i] = s
+	}
+
+	out := &MultiResult{Cells: make([]*Result, len(sims))}
+	errs := make([]error, len(sims))
+	var wg sync.WaitGroup
+	for i, s := range sims {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out.Cells[i], errs[i] = s.Run()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cellsim: cell %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

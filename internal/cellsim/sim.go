@@ -1,0 +1,549 @@
+package cellsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/flare-sim/flare/internal/abr"
+	"github.com/flare-sim/flare/internal/avis"
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/oneapi"
+	"github.com/flare-sim/flare/internal/qoe"
+	"github.com/flare-sim/flare/internal/sim"
+	"github.com/flare-sim/flare/internal/transport"
+)
+
+// env adapts the simulation loop to transport.Env.
+type env struct {
+	clock  sim.Clock
+	events sim.EventQueue
+}
+
+func (e *env) NowTTI() int64 { return e.clock.TTI() }
+
+func (e *env) Schedule(delay int64, fn func()) {
+	if delay < 1 {
+		delay = 1
+	}
+	e.events.Schedule(e.clock.TTI()+delay, fn)
+}
+
+// Sim is one assembled cell simulation. Build with New, execute with Run.
+type Sim struct {
+	cfg     Config
+	env     env
+	rng     *sim.RNG
+	channel lte.Channel
+	enb     *lte.ENodeB
+
+	videoBearers []*lte.Bearer
+	videoFlows   []*transport.Flow
+	players      []*has.Player
+	plugins      []*abr.FlarePlugin // parallel to players for FLARE
+
+	dataBearers []*lte.Bearer
+	dataFlows   []*transport.Flow
+
+	legacyBearers []*lte.Bearer
+	legacyFlows   []*transport.Flow
+	legacyPlayers []*has.Player
+
+	oneAPI    *oneapi.Server  // FLARE only
+	cellID    int             // this cell's ID at the OneAPI server
+	allocator *avis.Allocator // AVIS only
+
+	// buffer-feedback state: the active per-flow cap in bps (0 = none).
+	bufferCaps []float64
+
+	// series state
+	rateSeries    []*metrics.TimeSeries
+	bufSeries     []*metrics.TimeSeries
+	dataSeries    []*metrics.TimeSeries
+	lastDataBytes []int64
+}
+
+// New assembles a simulation from the configuration.
+func New(cfg Config) (*Sim, error) {
+	return NewInCell(cfg, nil, 0)
+}
+
+// NewInCell assembles a simulation whose FLARE control plane lives on a
+// shared OneAPI server under the given cell ID — the paper's "a single
+// OneAPI server can manage multiple BSs, though the bitrates are
+// calculated independently for each network cell". A nil server gives
+// the cell its own private one.
+func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Second
+	}
+	s := &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed), oneAPI: server, cellID: cellID}
+
+	numUEs := cfg.NumVideo + cfg.NumData + cfg.NumLegacy
+	ch, err := s.buildChannel(numUEs)
+	if err != nil {
+		return nil, err
+	}
+	s.channel = ch
+	s.enb = lte.NewENodeB(ch, s.buildScheduler())
+
+	if err := s.buildVideo(); err != nil {
+		return nil, err
+	}
+	if err := s.buildData(); err != nil {
+		return nil, err
+	}
+	if err := s.buildLegacy(); err != nil {
+		return nil, err
+	}
+	if err := s.buildControlPlane(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Sim) buildChannel(numUEs int) (lte.Channel, error) {
+	spec := s.cfg.Channel
+	switch spec.Kind {
+	case ChannelStatic:
+		return lte.NewUniformStaticChannel(numUEs, spec.StaticITbs), nil
+	case ChannelCyclic:
+		period := sim.DurationToTTIs(spec.CyclicPeriod)
+		offsets := make([]int64, numUEs)
+		for i := range offsets {
+			offsets[i] = period * int64(i) / int64(numUEs)
+		}
+		return lte.NewCyclicChannel(spec.CyclicMin, spec.CyclicMax, period, offsets)
+	case ChannelMobility:
+		mcfg := spec.Mobility
+		if mcfg.AreaMeters == 0 {
+			mcfg = lte.DefaultMobilityConfig(numUEs)
+		}
+		mcfg.NumUEs = numUEs
+		return lte.NewMobilityChannel(mcfg, s.rng)
+	case ChannelTrace:
+		return lte.NewTraceChannel(spec.Traces, sim.DurationToTTIs(spec.TraceStep))
+	default:
+		return nil, fmt.Errorf("cellsim: unknown channel kind %d", int(spec.Kind))
+	}
+}
+
+func (s *Sim) buildScheduler() lte.Scheduler {
+	switch s.cfg.Scheme {
+	case SchemeFLARE:
+		return lte.TwoPhaseGBRScheduler{}
+	case SchemeAVIS:
+		frac := s.cfg.Avis.VideoFraction
+		if frac <= 0 {
+			total := s.cfg.NumVideo + s.cfg.NumData + s.cfg.NumLegacy
+			frac = float64(s.cfg.NumVideo) / float64(total)
+		}
+		return lte.SlicedScheduler{VideoFraction: frac}
+	default:
+		return lte.PFScheduler{}
+	}
+}
+
+func (s *Sim) buildVideo() error {
+	segs := int(s.cfg.Duration/s.cfg.SegmentDuration) + 16
+	for i := 0; i < s.cfg.NumVideo; i++ {
+		mpd, err := has.NewMPD(s.cfg.Ladder, s.cfg.SegmentDuration, segs)
+		if err != nil {
+			return err
+		}
+		mpd.SizeJitter = s.cfg.VBRJitter
+		b := &lte.Bearer{ID: i, UE: i, Class: lte.ClassVideo}
+		if _, err := s.enb.AddBearer(b); err != nil {
+			return err
+		}
+		flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+		if err != nil {
+			return err
+		}
+		adapter, plugin := s.buildAdapter()
+		player, err := has.NewPlayer(&s.env, flow, mpd, adapter, s.cfg.Player)
+		if err != nil {
+			return err
+		}
+		s.videoBearers = append(s.videoBearers, b)
+		s.videoFlows = append(s.videoFlows, flow)
+		s.players = append(s.players, player)
+		s.plugins = append(s.plugins, plugin)
+	}
+	return nil
+}
+
+// buildAdapter returns the scheme's adapter; the second value is non-nil
+// only for FLARE (the plugin handle assignments are pushed to).
+func (s *Sim) buildAdapter() (has.Adapter, *abr.FlarePlugin) {
+	switch s.cfg.Scheme {
+	case SchemeFLARE:
+		p := abr.NewFlarePlugin()
+		return p, p
+	case SchemeFESTIVE:
+		return abr.NewFestive(s.cfg.Festive, s.rng), nil
+	case SchemeGOOGLE:
+		return abr.NewGoogle(s.cfg.Google), nil
+	case SchemeAVIS:
+		return abr.NewThroughput(3), nil
+	case SchemeBBA:
+		return abr.NewBBA(abr.DefaultBBAConfig()), nil
+	case SchemeMPC:
+		mcfg := abr.DefaultMPCConfig()
+		mcfg.SegmentSeconds = s.cfg.SegmentDuration.Seconds()
+		return abr.NewMPC(mcfg), nil
+	default:
+		panic("cellsim: unreachable scheme")
+	}
+}
+
+func (s *Sim) buildData() error {
+	for i := 0; i < s.cfg.NumData; i++ {
+		id := s.cfg.NumVideo + i
+		b := &lte.Bearer{ID: id, UE: id, Class: lte.ClassData}
+		if _, err := s.enb.AddBearer(b); err != nil {
+			return err
+		}
+		flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+		if err != nil {
+			return err
+		}
+		s.dataBearers = append(s.dataBearers, b)
+		s.dataFlows = append(s.dataFlows, flow)
+	}
+	return nil
+}
+
+// buildLegacy adds the conventional (non-FLARE) players of the Section
+// V coexistence deployment: FESTIVE adaptation over best-effort (data
+// class) bearers, invisible to the FLARE controller except as data
+// flows at the PCRF.
+func (s *Sim) buildLegacy() error {
+	segs := int(s.cfg.Duration/s.cfg.SegmentDuration) + 16
+	for i := 0; i < s.cfg.NumLegacy; i++ {
+		id := s.cfg.NumVideo + s.cfg.NumData + i
+		mpd, err := has.NewMPD(s.cfg.Ladder, s.cfg.SegmentDuration, segs)
+		if err != nil {
+			return err
+		}
+		mpd.SizeJitter = s.cfg.VBRJitter
+		b := &lte.Bearer{ID: id, UE: id, Class: lte.ClassData}
+		if _, err := s.enb.AddBearer(b); err != nil {
+			return err
+		}
+		flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+		if err != nil {
+			return err
+		}
+		player, err := has.NewPlayer(&s.env, flow, mpd, abr.NewFestive(s.cfg.Festive, s.rng), s.cfg.Player)
+		if err != nil {
+			return err
+		}
+		s.legacyBearers = append(s.legacyBearers, b)
+		s.legacyFlows = append(s.legacyFlows, flow)
+		s.legacyPlayers = append(s.legacyPlayers, player)
+	}
+	return nil
+}
+
+func (s *Sim) buildControlPlane() error {
+	switch s.cfg.Scheme {
+	case SchemeFLARE:
+		if s.oneAPI == nil {
+			s.oneAPI = oneapi.NewServer(s.cfg.Flare, nil)
+		}
+		for i, b := range s.videoBearers {
+			req := oneapi.SessionRequest{FlowID: b.ID, LadderBps: s.players[i].MPD().Ladder()}
+			if err := s.oneAPI.OpenSession(s.cellID, req); err != nil {
+				return err
+			}
+		}
+		for _, b := range s.dataBearers {
+			s.oneAPI.PCRF().RegisterDataFlow(s.cellID, b.ID)
+		}
+		// Legacy HAS flows look like data traffic to the network.
+		for _, b := range s.legacyBearers {
+			s.oneAPI.PCRF().RegisterDataFlow(s.cellID, b.ID)
+		}
+	case SchemeAVIS:
+		s.oneAPI = nil // the injected OneAPI server is FLARE-only
+		s.allocator = avis.NewAllocator(s.cfg.Avis)
+		for i, b := range s.videoBearers {
+			if err := s.allocator.Register(b.ID, s.players[i].MPD().Ladder()); err != nil {
+				return err
+			}
+		}
+	default:
+		s.oneAPI = nil // client-side schemes have no control plane
+	}
+	return nil
+}
+
+// collectStats drains the per-bearer accounting windows and attaches the
+// current-MCS hint — the Statistics Reporter's report for one interval.
+func (s *Sim) collectStats() map[int]core.FlowStats {
+	stats := make(map[int]core.FlowStats, len(s.videoBearers))
+	for _, b := range s.videoBearers {
+		w := b.CollectWindow()
+		stats[b.ID] = core.FlowStats{
+			Bytes:          w.Bytes,
+			RBs:            w.RBs,
+			BytesPerRBHint: lte.BitsPerRB(s.channel.ITbs(b.UE)) / 8,
+		}
+	}
+	return stats
+}
+
+// lowBufferCap returns the Section II-B buffer-feedback threshold.
+func (s *Sim) lowBufferCap() float64 {
+	if s.cfg.LowBufferCapSeconds < 0 {
+		return 0
+	}
+	if s.cfg.LowBufferCapSeconds == 0 {
+		return 6
+	}
+	return s.cfg.LowBufferCapSeconds
+}
+
+// sendBufferFeedback updates each plugin's preference cap from its
+// player's buffer state: a low buffer caps the next assignment one level
+// down so the session refills; the cap is held (with hysteresis) until
+// the buffer recovers to twice the threshold, then cleared.
+func (s *Sim) sendBufferFeedback() {
+	threshold := s.lowBufferCap()
+	if threshold <= 0 {
+		return
+	}
+	if s.bufferCaps == nil {
+		s.bufferCaps = make([]float64, len(s.players))
+	}
+	for i, p := range s.players {
+		plugin := s.plugins[i]
+		if plugin == nil || p.Done() {
+			continue
+		}
+		buf := p.BufferSeconds()
+		switch {
+		case s.bufferCaps[i] == 0 && buf < threshold:
+			if cur := plugin.AssignedBps(); cur > 0 {
+				lvl := s.cfg.Ladder.HighestAtMost(cur)
+				if lvl > 0 {
+					lvl--
+				}
+				s.bufferCaps[i] = s.cfg.Ladder.Rate(lvl)
+			}
+		case s.bufferCaps[i] > 0 && buf > 2*threshold:
+			s.bufferCaps[i] = 0
+		}
+		// Departed sessions are unregistered; ignore their errors.
+		_ = s.oneAPI.SetPreferences(s.cellID, s.videoBearers[i].ID,
+			core.Preferences{MaxBps: s.bufferCaps[i]})
+	}
+}
+
+func (s *Sim) runFlareBAI() error {
+	s.sendBufferFeedback()
+	report := oneapi.StatsReport{Flows: s.collectStats(), NumDataFlows: -1}
+	pcef := oneapi.PCEFFunc(func(flowID int, gbr float64) error {
+		return s.enb.SetGBR(flowID, gbr)
+	})
+	assignments, err := s.oneAPI.RunBAI(s.cellID, report, pcef)
+	if err != nil {
+		return err
+	}
+	for _, a := range assignments {
+		if a.FlowID >= 0 && a.FlowID < len(s.plugins) && s.plugins[a.FlowID] != nil {
+			s.plugins[a.FlowID].SetAssignedBps(a.RateBps)
+		}
+	}
+	return nil
+}
+
+func (s *Sim) runAvisEpoch() error {
+	assignments := s.allocator.RunEpoch(s.collectStats(), s.cfg.NumData+s.cfg.NumLegacy)
+	for _, a := range assignments {
+		if err := s.enb.SetGBR(a.FlowID, a.GBRBps); err != nil {
+			return err
+		}
+		if err := s.enb.SetMBR(a.FlowID, a.MBRBps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Sim) sample(tSec float64) {
+	for i, p := range s.players {
+		rate := 0.0
+		if q := p.State().LastQuality; q >= 0 {
+			rate = s.cfg.Ladder.Rate(q)
+		}
+		s.rateSeries[i].Add(tSec, rate)
+		s.bufSeries[i].Add(tSec, p.BufferSeconds())
+	}
+	for i, f := range s.dataFlows {
+		delivered := f.DeliveredTotal()
+		delta := delivered - s.lastDataBytes[i]
+		s.lastDataBytes[i] = delivered
+		s.dataSeries[i].Add(tSec, float64(delta)*8/s.cfg.SampleEvery.Seconds())
+	}
+}
+
+// Run executes the simulation and returns the collected results.
+func (s *Sim) Run() (*Result, error) {
+	durTTIs := sim.DurationToTTIs(s.cfg.Duration)
+
+	// Stagger player and data-flow starts over the first two seconds so
+	// clients don't move in lockstep; explicit arrival schedules win.
+	for i, p := range s.players {
+		p := p
+		startTTI := int64(s.rng.Intn(2000))
+		if len(s.cfg.VideoArrivals) > 0 {
+			startTTI = sim.DurationToTTIs(s.cfg.VideoArrivals[i])
+		}
+		s.env.events.Schedule(startTTI, p.Start)
+		if len(s.cfg.VideoDepartures) > 0 && s.cfg.VideoDepartures[i] > 0 {
+			id := s.videoBearers[i].ID
+			s.env.events.Schedule(sim.DurationToTTIs(s.cfg.VideoDepartures[i]), func() {
+				p.Stop()
+				if s.oneAPI != nil {
+					s.oneAPI.CloseSession(s.cellID, id)
+				}
+				if s.allocator != nil {
+					s.allocator.Unregister(id)
+				}
+			})
+		}
+	}
+	for _, p := range s.legacyPlayers {
+		p := p
+		s.env.events.Schedule(int64(s.rng.Intn(2000)), p.Start)
+	}
+	for _, f := range s.dataFlows {
+		f := f
+		s.env.events.Schedule(int64(s.rng.Intn(2000)), func() { f.SetGreedy(true) })
+	}
+
+	baiTTIs := int64(0)
+	if s.oneAPI != nil {
+		baiTTIs = sim.DurationToTTIs(s.cfg.Flare.BAI)
+		if baiTTIs < 100 {
+			baiTTIs = 100
+		}
+	}
+	epochTTIs := int64(0)
+	if s.allocator != nil {
+		epochTTIs = int64(s.allocator.Config().WindowMs)
+		if epochTTIs < 10 {
+			epochTTIs = 10
+		}
+	}
+	sampleTTIs := sim.DurationToTTIs(s.cfg.SampleEvery)
+	if s.cfg.CollectSeries {
+		s.rateSeries = make([]*metrics.TimeSeries, len(s.players))
+		s.bufSeries = make([]*metrics.TimeSeries, len(s.players))
+		for i := range s.players {
+			s.rateSeries[i] = &metrics.TimeSeries{}
+			s.bufSeries[i] = &metrics.TimeSeries{}
+		}
+		s.dataSeries = make([]*metrics.TimeSeries, len(s.dataFlows))
+		for i := range s.dataFlows {
+			s.dataSeries[i] = &metrics.TimeSeries{}
+		}
+		s.lastDataBytes = make([]int64, len(s.dataFlows))
+	}
+
+	for tti := int64(0); tti < durTTIs; tti++ {
+		s.env.events.RunDue(tti)
+		for _, f := range s.videoFlows {
+			f.Tick()
+		}
+		for _, f := range s.dataFlows {
+			f.Tick()
+		}
+		for _, f := range s.legacyFlows {
+			f.Tick()
+		}
+		s.enb.RunTTI(tti)
+
+		if baiTTIs > 0 && tti > 0 && tti%baiTTIs == 0 {
+			if s.cfg.StatsLossRate > 0 && s.rng.Float64() < s.cfg.StatsLossRate {
+				// The report was lost in the overlay: the eNodeB keeps
+				// its GBRs and the plugins their last assignments; the
+				// window accounting accumulates into the next report.
+			} else if err := s.runFlareBAI(); err != nil {
+				return nil, err
+			}
+		}
+		if epochTTIs > 0 && tti > 0 && tti%epochTTIs == 0 {
+			if err := s.runAvisEpoch(); err != nil {
+				return nil, err
+			}
+		}
+		if s.cfg.CollectSeries && tti > 0 && tti%sampleTTIs == 0 {
+			s.sample(float64(tti) / lte.TTIsPerSecond)
+		}
+		s.env.clock.Advance()
+	}
+	return s.buildResult(), nil
+}
+
+func (s *Sim) buildResult() *Result {
+	durSec := s.cfg.Duration.Seconds()
+	res := &Result{Scheme: s.cfg.Scheme}
+	for i, p := range s.players {
+		rates := p.SelectedRates()
+		res.Clients = append(res.Clients, ClientResult{
+			FlowID:              s.videoBearers[i].ID,
+			AvgRateBps:          metrics.Mean(rates),
+			AvgTputBps:          float64(s.videoFlows[i].DeliveredTotal()) * 8 / durSec,
+			NumChanges:          metrics.CountChanges(rates),
+			Segments:            len(rates),
+			StallSeconds:        p.StallSeconds(),
+			StallCount:          p.StallCount(),
+			StartupDelaySeconds: p.StartupDelaySeconds(),
+			QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
+		})
+	}
+	for i, f := range s.dataFlows {
+		res.Data = append(res.Data, DataResult{
+			FlowID:     s.dataBearers[i].ID,
+			AvgTputBps: float64(f.DeliveredTotal()) * 8 / durSec,
+		})
+	}
+	for i, p := range s.legacyPlayers {
+		rates := p.SelectedRates()
+		res.Legacy = append(res.Legacy, ClientResult{
+			FlowID:              s.legacyBearers[i].ID,
+			AvgRateBps:          metrics.Mean(rates),
+			AvgTputBps:          float64(s.legacyFlows[i].DeliveredTotal()) * 8 / durSec,
+			NumChanges:          metrics.CountChanges(rates),
+			Segments:            len(rates),
+			StallSeconds:        p.StallSeconds(),
+			StallCount:          p.StallCount(),
+			StartupDelaySeconds: p.StartupDelaySeconds(),
+			QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
+		})
+	}
+	if s.oneAPI != nil {
+		res.SolveTimesSec = s.oneAPI.SolveTimes(s.cellID)
+	}
+	res.VideoRateSeries = s.rateSeries
+	res.BufferSeries = s.bufSeries
+	res.DataTputSeries = s.dataSeries
+	return res
+}
+
+// Run is the package-level convenience: assemble and execute in one call.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,57 @@
+package core
+
+// Gate implements the stability rule of Algorithm 1: a flow's level may
+// rise by at most one step per BAI, and only after the optimiser has
+// recommended that step for delta*(L+1) consecutive BAIs (L being the
+// current 1-indexed level — higher levels climb more slowly, following
+// FESTIVE's delayed-update idea). Drops are applied immediately:
+// L^i = min(L^{i-1}, L^{i*}).
+type Gate struct {
+	delta   int
+	streaks map[int]int
+}
+
+// NewGate builds a gate with the given delta (Table IV default: 4).
+// delta <= 0 disables the streak requirement (up-switches apply
+// immediately), which is the ablation arm of Figure 12.
+func NewGate(delta int) *Gate {
+	return &Gate{delta: delta, streaks: make(map[int]int)}
+}
+
+// Delta returns the configured stability parameter.
+func (g *Gate) Delta() int { return g.delta }
+
+// required returns the recommendation streak needed to step up from
+// prevLevel (0-indexed): delta * (L+1) with L = prevLevel+1 (1-indexed).
+func (g *Gate) required(prevLevel int) int {
+	return g.delta * (prevLevel + 2)
+}
+
+// Apply resolves the final level for one flow given the previous level
+// and this BAI's recommendation. prevLevel -1 means the flow has no
+// assignment yet; the first recommendation is applied directly (the
+// optimiser already restricts new flows to the lowest level).
+func (g *Gate) Apply(flowID, prevLevel, recommended int) int {
+	if prevLevel < 0 {
+		g.streaks[flowID] = 0
+		return recommended
+	}
+	if recommended == prevLevel+1 {
+		g.streaks[flowID]++
+		if g.delta <= 0 || g.streaks[flowID] >= g.required(prevLevel) {
+			g.streaks[flowID] = 0
+			return prevLevel + 1
+		}
+		return prevLevel
+	}
+	g.streaks[flowID] = 0
+	if recommended < prevLevel {
+		return recommended
+	}
+	return prevLevel
+}
+
+// Forget drops the streak state of a departed flow.
+func (g *Gate) Forget(flowID int) {
+	delete(g.streaks, flowID)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExactSolver solves the discrete problem (Eq. 3-4) as a multiple-choice
+// knapsack: each flow picks one level from [0, MaxLevel]; the capacity
+// axis is discretised into Bins RB buckets (costs rounded up, so the
+// capacity constraint is never violated); a final scan over the bucket
+// index trades video RBs against the data term n*alpha*log(1-r).
+//
+// This replaces the paper's "solve (3-4) exactly" KNITRO configuration.
+// With the default 4000 bins the discretisation error is below 0.03% of
+// the band, far finer than one ladder step; the brute-force solver in
+// the tests confirms the DP matches true optima on small instances.
+type ExactSolver struct {
+	// Bins is the capacity discretisation granularity.
+	Bins int
+}
+
+// NewExactSolver returns an ExactSolver with the default resolution.
+func NewExactSolver() *ExactSolver { return &ExactSolver{Bins: 4000} }
+
+// Solve runs the DP and returns the best feasible assignment.
+func (s *ExactSolver) Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	bins := s.Bins
+	if bins < 10 {
+		bins = 10
+	}
+	n := len(p.Flows)
+	if n == 0 {
+		return p.solutionFor(nil, true), nil
+	}
+
+	binRBs := p.TotalRBs / float64(bins)
+	// cost in bins (rounded up) per flow per level.
+	costs := make([][]int, n)
+	utils := make([][]float64, n)
+	feasible := true
+	for u := range p.Flows {
+		f := &p.Flows[u]
+		maxL := f.MaxLevel()
+		costs[u] = make([]int, maxL+1)
+		utils[u] = make([]float64, maxL+1)
+		for l := 0; l <= maxL; l++ {
+			c := p.CostRBs(u, f.Ladder.Rate(l))
+			costs[u][l] = int(math.Ceil(c / binRBs))
+			utils[u][l] = p.UtilityAt(u, l)
+		}
+		if costs[u][0] > bins {
+			feasible = false
+		}
+	}
+	if !feasible {
+		// Even the lowest levels overflow the cell; hand out the
+		// minimum and let the scheduler degrade gracefully.
+		return p.solutionFor(p.lowestLevels(), false), nil
+	}
+
+	negInf := math.Inf(-1)
+	// dp[j]: max total utility using exactly <= j bins, with choice[u][j]
+	// recording flow u's level in the best assignment reaching j.
+	dp := make([]float64, bins+1)
+	next := make([]float64, bins+1)
+	choice := make([][]int8, n)
+	for u := range choice {
+		choice[u] = make([]int8, bins+1)
+	}
+	for j := range dp {
+		dp[j] = 0
+	}
+	for u := 0; u < n; u++ {
+		for j := 0; j <= bins; j++ {
+			best := negInf
+			bestL := int8(-1)
+			for l, c := range costs[u] {
+				if c > j {
+					break // costs are ascending in l
+				}
+				if v := dp[j-c] + utils[u][l]; v > best {
+					best = v
+					bestL = int8(l)
+				}
+			}
+			next[j] = best
+			choice[u][j] = bestL
+		}
+		dp, next = next, dp
+	}
+
+	// Pick the bucket count that maximises utility + data term.
+	bestObj := negInf
+	bestJ := -1
+	for j := 0; j <= bins; j++ {
+		if dp[j] == negInf {
+			continue
+		}
+		obj := dp[j] + p.DataTerm(float64(j)/float64(bins))
+		if obj > bestObj {
+			bestObj = obj
+			bestJ = j
+		}
+	}
+	if bestJ < 0 {
+		return p.solutionFor(p.lowestLevels(), false), nil
+	}
+
+	// Backtrack the choices.
+	levels := make([]int, n)
+	j := bestJ
+	for u := n - 1; u >= 0; u-- {
+		l := choice[u][j]
+		if l < 0 {
+			return Solution{}, fmt.Errorf("core: DP backtrack failed at flow %d", u)
+		}
+		levels[u] = int(l)
+		j -= costs[u][l]
+	}
+	return p.solutionFor(levels, true), nil
+}
+
+// BruteForce exhaustively enumerates every level combination. It is
+// exponential and exists to validate the DP and relaxation solvers on
+// small instances (tests and benchmarks only).
+func BruteForce(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Flows)
+	levels := p.lowestLevels()
+	best := make([]int, n)
+	bestObj := math.Inf(-1)
+	found := false
+
+	var walk func(u int)
+	walk = func(u int) {
+		if u == n {
+			if obj, _ := p.ObjectiveAt(levels); obj > bestObj {
+				bestObj = obj
+				copy(best, levels)
+				found = true
+			}
+			return
+		}
+		maxL := p.Flows[u].MaxLevel()
+		for l := 0; l <= maxL; l++ {
+			levels[u] = l
+			walk(u + 1)
+		}
+		levels[u] = 0
+	}
+	walk(0)
+
+	if !found || math.IsInf(bestObj, -1) {
+		return p.solutionFor(p.lowestLevels(), false), nil
+	}
+	return p.solutionFor(best, true), nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// testProblem builds a problem with n identical flows on the sim ladder.
+// prevLevel -1 means new flows; bytesPerRB sets the radio cost.
+func testProblem(n int, prevLevel int, numData int, alpha float64, bytesPerRB float64) *Problem {
+	p := &Problem{
+		Flows:        make([]VideoFlow, n),
+		NumDataFlows: numData,
+		Alpha:        alpha,
+		TotalRBs:     50 * 10_000, // 10 s BAI at 50 RB/TTI
+		BAISeconds:   10,
+	}
+	for i := range p.Flows {
+		p.Flows[i] = VideoFlow{
+			ID:         i,
+			Ladder:     has.SimLadder(),
+			Beta:       10,
+			ThetaBps:   0.2e6,
+			PrevLevel:  prevLevel,
+			RBsPerByte: 1 / bytesPerRB,
+		}
+	}
+	return p
+}
+
+func TestProblemValidate(t *testing.T) {
+	good := testProblem(2, 2, 1, 1, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	mutations := []func(*Problem){
+		func(p *Problem) { p.TotalRBs = 0 },
+		func(p *Problem) { p.BAISeconds = -1 },
+		func(p *Problem) { p.NumDataFlows = -1 },
+		func(p *Problem) { p.Alpha = -0.5 },
+		func(p *Problem) { p.Flows[0].Ladder = has.Ladder{} },
+		func(p *Problem) { p.Flows[0].Beta = 0 },
+		func(p *Problem) { p.Flows[0].ThetaBps = -1 },
+		func(p *Problem) { p.Flows[0].RBsPerByte = 0 },
+		func(p *Problem) { p.Flows[0].PrevLevel = -2 },
+		func(p *Problem) { p.Flows[0].PrevLevel = 99 },
+	}
+	for i, mutate := range mutations {
+		p := testProblem(2, 2, 1, 1, 10)
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestVideoFlowMaxLevel(t *testing.T) {
+	f := VideoFlow{Ladder: has.SimLadder(), PrevLevel: 2}
+	if got := f.MaxLevel(); got != 3 {
+		t.Errorf("MaxLevel = %d, want 3 (prev+1)", got)
+	}
+	f.PrevLevel = 5 // already at top
+	if got := f.MaxLevel(); got != 5 {
+		t.Errorf("MaxLevel = %d, want 5 (ladder top)", got)
+	}
+	f.PrevLevel = -1 // new flow: unconstrained first assignment (i = 1)
+	if got := f.MaxLevel(); got != 5 {
+		t.Errorf("MaxLevel = %d, want 5 for new flow", got)
+	}
+	// Client cap binds below the stability bound.
+	f.PrevLevel = 4
+	f.MaxBps = 500_000
+	if got := f.MaxLevel(); got != 2 {
+		t.Errorf("MaxLevel = %d, want 2 under 500k cap", got)
+	}
+}
+
+func TestVideoFlowUtility(t *testing.T) {
+	f := VideoFlow{Ladder: has.SimLadder(), Beta: 10, ThetaBps: 0.2e6}
+	// Level 3 is 1 Mbps: 10 * (1 - 0.2) = 8.
+	if got := f.Utility(3); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Utility(3) = %v, want 8", got)
+	}
+	// Utility is increasing and bounded by beta.
+	prev := math.Inf(-1)
+	for l := 0; l < f.Ladder.Len(); l++ {
+		u := f.Utility(l)
+		if u <= prev {
+			t.Fatalf("utility not increasing at %d", l)
+		}
+		if u >= f.Beta {
+			t.Fatalf("utility %v >= beta", u)
+		}
+		prev = u
+	}
+}
+
+func TestProblemCostRBs(t *testing.T) {
+	p := testProblem(1, 2, 0, 1, 10) // 10 bytes per RB
+	// 1 Mbps over 10 s = 1.25 MB; at 10 B/RB that is 125000 RBs.
+	if got := p.CostRBs(0, 1e6); math.Abs(got-125000) > 1e-6 {
+		t.Errorf("CostRBs = %v, want 125000", got)
+	}
+}
+
+func TestDataTerm(t *testing.T) {
+	p := testProblem(1, 2, 2, 1.5, 10)
+	if got := p.DataTerm(0); got != 0 {
+		t.Errorf("DataTerm(0) = %v", got)
+	}
+	want := 2 * 1.5 * math.Log(0.5)
+	if got := p.DataTerm(0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DataTerm(0.5) = %v, want %v", got, want)
+	}
+	if got := p.DataTerm(1); !math.IsInf(got, -1) {
+		t.Errorf("DataTerm(1) = %v, want -Inf", got)
+	}
+	if got := p.DataTerm(-0.1); got != 0 {
+		t.Errorf("DataTerm(-0.1) = %v, want 0 (clamped)", got)
+	}
+	p.NumDataFlows = 0
+	if got := p.DataTerm(0.9); got != 0 {
+		t.Errorf("DataTerm with no data flows = %v", got)
+	}
+}
+
+func TestObjectiveAtInfeasible(t *testing.T) {
+	// Tiny capacity: even moderate levels overflow.
+	p := testProblem(2, 5, 0, 1, 10)
+	p.TotalRBs = 10
+	obj, share := p.ObjectiveAt([]int{5, 5})
+	if !math.IsInf(obj, -1) {
+		t.Errorf("objective = %v for infeasible levels", obj)
+	}
+	if share <= 1 {
+		t.Errorf("share = %v, want > 1", share)
+	}
+}

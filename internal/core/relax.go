@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+)
+
+// RelaxedSolver solves the continuous relaxation of Proposition 1: each
+// R_u ranges over the interval [r_u(1), r_u(MaxLevel)] instead of the
+// discrete ladder. The relaxation is convex (the objective is concave
+// and the constraints linear), so it decomposes cleanly:
+//
+//   - For a fixed RB budget r*N, the inner problem is water-filling: the
+//     KKT condition beta_u*theta_u/R_u^2 = lambda*a_u gives
+//     R_u = sqrt(beta_u*theta_u/(lambda*a_u)) clamped to its bounds,
+//     with lambda found by bisection on the capacity constraint.
+//   - The outer problem over r is one-dimensional and concave, solved by
+//     golden-section search.
+//
+// The continuous optimum is then rounded down to the ladder (footnote 1
+// of the paper). This is the scalable path the paper evaluates in
+// Figures 8-9.
+type RelaxedSolver struct {
+	// LambdaIters is the bisection depth for the inner multiplier.
+	LambdaIters int
+	// OuterIters is the golden-section depth for r.
+	OuterIters int
+}
+
+// NewRelaxedSolver returns a solver with default tolerances.
+func NewRelaxedSolver() *RelaxedSolver {
+	return &RelaxedSolver{LambdaIters: 60, OuterIters: 50}
+}
+
+// flowBounds precomputes the per-flow constants of the relaxation.
+type flowBounds struct {
+	lo, hi    float64 // bitrate interval [r_u(1), r_u(MaxLevel)]
+	aRBPerBps float64 // RBs consumed per bit/s of assigned rate
+	betaTheta float64
+}
+
+func relaxBounds(p *Problem) []flowBounds {
+	fb := make([]flowBounds, len(p.Flows))
+	for u := range p.Flows {
+		f := &p.Flows[u]
+		fb[u] = flowBounds{
+			lo:        f.Ladder.Rate(0),
+			hi:        f.Ladder.Rate(f.MaxLevel()),
+			aRBPerBps: p.BAISeconds * f.RBsPerByte / 8,
+			betaTheta: f.Beta * f.ThetaBps,
+		}
+	}
+	return fb
+}
+
+// ratesAtLambda evaluates the KKT stationary point for a multiplier.
+func ratesAtLambda(fb []flowBounds, lambda float64, out []float64) (usedRBs float64) {
+	for u := range fb {
+		b := &fb[u]
+		var r float64
+		if lambda <= 0 {
+			r = b.hi
+		} else {
+			r = math.Sqrt(b.betaTheta / (lambda * b.aRBPerBps))
+			if r < b.lo {
+				r = b.lo
+			} else if r > b.hi {
+				r = b.hi
+			}
+		}
+		out[u] = r
+		usedRBs += b.aRBPerBps * r
+	}
+	return usedRBs
+}
+
+// waterfill maximises the video utility under an RB budget, returning
+// the continuous rates and the achieved utility. ok is false when even
+// the lower bounds exceed the budget.
+func (s *RelaxedSolver) waterfill(p *Problem, fb []flowBounds, budgetRBs float64, out []float64) (util float64, ok bool) {
+	var minRBs, maxRBs float64
+	for u := range fb {
+		minRBs += fb[u].aRBPerBps * fb[u].lo
+		maxRBs += fb[u].aRBPerBps * fb[u].hi
+	}
+	if minRBs > budgetRBs {
+		return 0, false
+	}
+	if maxRBs <= budgetRBs {
+		ratesAtLambda(fb, 0, out)
+	} else {
+		// Bisect lambda: used RBs is decreasing in lambda.
+		lo, hi := 0.0, 1.0
+		for ratesAtLambda(fb, hi, out) > budgetRBs {
+			hi *= 4
+			if hi > 1e30 {
+				break
+			}
+		}
+		for i := 0; i < s.LambdaIters; i++ {
+			mid := (lo + hi) / 2
+			if ratesAtLambda(fb, mid, out) > budgetRBs {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		ratesAtLambda(fb, hi, out)
+	}
+	for u := range p.Flows {
+		util += p.Flows[u].Beta * (1 - p.Flows[u].ThetaBps/out[u])
+	}
+	return util, true
+}
+
+// Solve runs the relaxation and rounds the result to the ladder.
+func (s *RelaxedSolver) Solve(p *Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Flows)
+	if n == 0 {
+		return p.solutionFor(nil, true), nil
+	}
+	fb := relaxBounds(p)
+
+	var minRBs, maxRBs float64
+	for u := range fb {
+		minRBs += fb[u].aRBPerBps * fb[u].lo
+		maxRBs += fb[u].aRBPerBps * fb[u].hi
+	}
+	if minRBs > p.TotalRBs {
+		return p.solutionFor(p.lowestLevels(), false), nil
+	}
+
+	rates := make([]float64, n)
+	scratch := make([]float64, n)
+	if p.NumDataFlows == 0 || p.Alpha == 0 {
+		// No data term: give video everything it can use.
+		budget := math.Min(p.TotalRBs, maxRBs)
+		if _, ok := s.waterfill(p, fb, budget, rates); !ok {
+			return p.solutionFor(p.lowestLevels(), false), nil
+		}
+	} else {
+		rMin := minRBs / p.TotalRBs
+		rMax := math.Min(maxRBs/p.TotalRBs, 1-1e-9)
+		if rMax < rMin {
+			// The floors alone consume (essentially) the whole cell:
+			// the search interval collapses to the only feasible point.
+			rMax = rMin
+		}
+		g := func(r float64) float64 {
+			util, ok := s.waterfill(p, fb, r*p.TotalRBs, scratch)
+			if !ok {
+				return math.Inf(-1)
+			}
+			return util + p.DataTerm(r)
+		}
+		// Golden-section search on the concave g over [rMin, rMax].
+		const phi = 0.6180339887498949
+		a, b := rMin, rMax
+		x1 := b - phi*(b-a)
+		x2 := a + phi*(b-a)
+		f1, f2 := g(x1), g(x2)
+		for i := 0; i < s.OuterIters; i++ {
+			if f1 < f2 {
+				a = x1
+				x1, f1 = x2, f2
+				x2 = a + phi*(b-a)
+				f2 = g(x2)
+			} else {
+				b = x2
+				x2, f2 = x1, f1
+				x1 = b - phi*(b-a)
+				f1 = g(x1)
+			}
+		}
+		rStar := (a + b) / 2
+		if _, ok := s.waterfill(p, fb, rStar*p.TotalRBs, rates); !ok {
+			return p.solutionFor(p.lowestLevels(), false), nil
+		}
+	}
+
+	// Round each continuous rate down to the ladder (footnote 1),
+	// respecting the per-flow level cap.
+	levels := make([]int, n)
+	for u := range p.Flows {
+		f := &p.Flows[u]
+		l := f.Ladder.HighestAtMost(rates[u] * (1 + 1e-12))
+		if maxL := f.MaxLevel(); l > maxL {
+			l = maxL
+		}
+		levels[u] = l
+	}
+	greedyRepair(p, levels)
+	return p.solutionFor(levels, true), nil
+}
+
+// greedyRepair redistributes the RB budget the round-down released:
+// while some single-level increment improves the objective and fits the
+// cell, apply the best one. This keeps the relaxation's "round down"
+// discretisation from stranding capacity (most costly at the bottom of
+// the ladder, where utility changes steeply).
+func greedyRepair(p *Problem, levels []int) {
+	used := 0.0
+	for u := range p.Flows {
+		used += p.CostRBs(u, p.Flows[u].Ladder.Rate(levels[u]))
+	}
+	for {
+		bestU, bestGain := -1, 1e-12
+		bestCost := 0.0
+		for u := range p.Flows {
+			f := &p.Flows[u]
+			if levels[u] >= f.MaxLevel() {
+				continue
+			}
+			dCost := p.CostRBs(u, f.Ladder.Rate(levels[u]+1)) -
+				p.CostRBs(u, f.Ladder.Rate(levels[u]))
+			newShare := (used + dCost) / p.TotalRBs
+			if newShare > 1 {
+				continue
+			}
+			gain := p.UtilityAt(u, levels[u]+1) - p.UtilityAt(u, levels[u]) +
+				p.DataTerm(newShare) - p.DataTerm(used/p.TotalRBs)
+			if gain > bestGain {
+				bestU, bestGain, bestCost = u, gain, dCost
+			}
+		}
+		if bestU < 0 {
+			return
+		}
+		levels[bestU]++
+		used += bestCost
+	}
+}

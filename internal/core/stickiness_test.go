@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/flare-sim/flare/internal/sim"
+)
+
+func TestUtilityAtAddsBonusOnlyAtPrevLevel(t *testing.T) {
+	p := testProblem(1, 2, 0, 1, 10)
+	p.StickinessBonus = 0.4
+	base := p.Flows[0].Utility(2)
+	if got := p.UtilityAt(0, 2); got != base+0.4 {
+		t.Fatalf("UtilityAt(prev) = %v, want %v", got, base+0.4)
+	}
+	if got := p.UtilityAt(0, 3); got != p.Flows[0].Utility(3) {
+		t.Fatalf("UtilityAt(other) = %v, want plain utility", got)
+	}
+	p.StickinessBonus = 0
+	if got := p.UtilityAt(0, 2); got != base {
+		t.Fatalf("disabled bonus still applied: %v", got)
+	}
+}
+
+func TestStickinessSuppressesSwapsButNotRealGains(t *testing.T) {
+	// Two identical flows at levels {3, 4} with costs that would make
+	// swapping marginally attractive. With the bonus the solver keeps
+	// the incumbent assignment.
+	mk := func(bonus float64) *Problem {
+		p := testProblem(2, 3, 0, 1, 20)
+		p.Flows[0].PrevLevel = 3
+		p.Flows[1].PrevLevel = 4
+		// Flow 0 slightly cheaper: a swap would save a hair of capacity.
+		p.Flows[0].RBsPerByte = 1 / 20.5
+		p.TotalRBs *= 0.12 // make capacity bind around these levels
+		p.StickinessBonus = bonus
+		return p
+	}
+	solNo, err := NewExactSolver().Solve(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solYes, err := NewExactSolver().Solve(mk(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the bonus the previous levels must be at least as preserved.
+	keepScore := func(s Solution, prevs []int) int {
+		n := 0
+		for u, l := range s.Levels {
+			if l == prevs[u] {
+				n++
+			}
+		}
+		return n
+	}
+	prevs := []int{3, 4}
+	if keepScore(solYes, prevs) < keepScore(solNo, prevs) {
+		t.Fatalf("stickiness reduced retention: %v vs %v", solYes.Levels, solNo.Levels)
+	}
+	// A genuinely large gain still wins: opening up capacity lets both
+	// flows climb despite the bonus.
+	rich := mk(0.3)
+	rich.TotalRBs *= 100
+	solRich, err := NewExactSolver().Solve(rich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solRich.Levels[0] <= 3 {
+		t.Fatalf("bonus blocked a profitable climb: %v", solRich.Levels)
+	}
+}
+
+func TestGreedyRepairNeverViolatesCapacity(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + rng.Intn(6)
+		p := testProblem(n, -1, rng.Intn(3), rng.Float64()*3, 5+rng.Float64()*25)
+		for u := range p.Flows {
+			p.Flows[u].PrevLevel = rng.Intn(p.Flows[u].Ladder.Len()+1) - 1
+		}
+		p.TotalRBs *= 0.05 + rng.Float64()
+		levels := p.lowestLevels()
+		if _, share := p.ObjectiveAt(levels); share > 1 {
+			return true // already infeasible at the floor; repair is moot
+		}
+		greedyRepair(p, levels)
+		_, share := p.ObjectiveAt(levels)
+		return share <= 1+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyRepairImprovesObjective(t *testing.T) {
+	p := testProblem(4, 5, 0, 1, 25)
+	p.TotalRBs *= 2 // genuinely abundant: 4 flows at the top fit easily
+	levels := p.lowestLevels()
+	before, _ := p.ObjectiveAt(levels)
+	greedyRepair(p, levels)
+	after, _ := p.ObjectiveAt(levels)
+	if after < before {
+		t.Fatalf("repair worsened objective: %v -> %v", before, after)
+	}
+	// With abundant capacity and no data flows, repair climbs to max.
+	for u, l := range levels {
+		if l != p.Flows[u].MaxLevel() {
+			t.Fatalf("flow %d stopped at %d with spare capacity", u, l)
+		}
+	}
+}
+
+func TestGreedyRepairRespectsClientCap(t *testing.T) {
+	p := testProblem(2, 5, 0, 1, 25)
+	p.Flows[0].MaxBps = 500_000
+	levels := p.lowestLevels()
+	greedyRepair(p, levels)
+	if rate := p.Flows[0].Ladder.Rate(levels[0]); rate > 500_000 {
+		t.Fatalf("repair violated client cap: %v", rate)
+	}
+}
+
+func TestRelaxBoundsRespectClientCap(t *testing.T) {
+	p := testProblem(1, 5, 0, 1, 25)
+	p.Flows[0].MaxBps = 900_000
+	fb := relaxBounds(p)
+	// Highest ladder rung <= 900k is 500k.
+	if fb[0].hi != 500_000 {
+		t.Fatalf("relax upper bound %v, want 500000", fb[0].hi)
+	}
+}
+
+func TestWaterfillRespectsInfeasibleBudget(t *testing.T) {
+	p := testProblem(3, 5, 0, 1, 10)
+	fb := relaxBounds(p)
+	out := make([]float64, 3)
+	if _, ok := NewRelaxedSolver().waterfill(p, fb, 1, out); ok {
+		t.Fatal("waterfill accepted an impossible budget")
+	}
+}
+
+func TestSolutionForRatesMatchLevels(t *testing.T) {
+	p := testProblem(3, 2, 1, 1, 15)
+	sol := p.solutionFor([]int{0, 1, 2}, true)
+	want := []float64{100_000, 250_000, 500_000}
+	for i, r := range sol.RatesBps {
+		if r != want[i] {
+			t.Fatalf("rate[%d] = %v, want %v", i, r, want[i])
+		}
+	}
+	if !sol.Feasible {
+		t.Fatal("feasible flag lost")
+	}
+}
+
+func TestBruteForceHonorsStickiness(t *testing.T) {
+	// Brute force and DP must agree including the bonus term.
+	rng := sim.NewRNG(33)
+	for trial := 0; trial < 20; trial++ {
+		p := testProblem(3, -1, rng.Intn(2), 1, 8+rng.Float64()*20)
+		for u := range p.Flows {
+			p.Flows[u].PrevLevel = rng.Intn(p.Flows[u].Ladder.Len()+1) - 1
+		}
+		p.StickinessBonus = 0.25
+		p.TotalRBs *= 0.1 + rng.Float64()*0.5
+		bf, err := BruteForce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := NewExactSolver().Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bf.Feasible && dp.Objective < bf.Objective-0.05 {
+			t.Fatalf("trial %d: DP %v below brute force %v with stickiness",
+				trial, dp.Objective, bf.Objective)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/metrics"
+)
+
+// tinyScale keeps experiment tests fast: 30 s scenarios, 1 run.
+func tinyScale() Scale { return Scale{DurationFactor: 0.025, Runs: 1} }
+
+func TestAllRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-coexist", "ext-abr"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig6")
+	if err != nil || e.ID != "fig6" {
+		t.Fatalf("ByID(fig6) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestScaleNormalization(t *testing.T) {
+	s := Scale{}.normalized()
+	if s.DurationFactor != 1 || s.Runs != 1 {
+		t.Fatalf("normalized zero scale = %+v", s)
+	}
+	if f := Full(); f.Runs != 20 || f.DurationFactor != 1 {
+		t.Fatalf("Full = %+v", f)
+	}
+	if q := Quick(); q.Runs < 1 {
+		t.Fatalf("Quick = %+v", q)
+	}
+}
+
+func TestTable1SmokeAndShape(t *testing.T) {
+	rep, err := RunTable1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("%d tables", len(rep.Tables))
+	}
+	out := rep.String()
+	for _, want := range []string{"FESTIVE", "GOOGLE", "FLARE",
+		"Average video rate", "Jain", "data flow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4ProducesSeries(t *testing.T) {
+	rep, err := RunFig4(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 schemes x (3 video rate + 3 buffer + 1 data) = 21 series.
+	if len(rep.Series) != 21 {
+		t.Fatalf("%d series, want 21", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+	}
+}
+
+func TestFig6SmokeAndCDFShape(t *testing.T) {
+	rep, err := RunFig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 { // 3 schemes x 2 metrics
+		t.Fatalf("%d series, want 6", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		last := s.Points[len(s.Points)-1]
+		if last.Y != 1 {
+			t.Errorf("CDF %q does not reach 1: %v", s.Name, last)
+		}
+	}
+	if len(rep.Notes) == 0 {
+		t.Error("no notes")
+	}
+}
+
+func TestFig9RecordsSolveTimes(t *testing.T) {
+	// Short but real runs: several BAIs per size.
+	rep, err := RunFig9(Scale{DurationFactor: 0.05, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 { // 2 solvers x 3 sizes
+		t.Fatalf("%d series, want 6", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.X < 0 || p.X > 10_000 {
+				t.Fatalf("implausible solve time %v ms in %q", p.X, s.Name)
+			}
+		}
+	}
+}
+
+func TestFig12SweepShape(t *testing.T) {
+	rep, err := RunFig12(Scale{DurationFactor: 0.025, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("%d series", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Points) != 13 { // delta 0..12
+			t.Fatalf("series %q has %d points, want 13", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestReportWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{
+		ID:    "fake",
+		Title: "Fake",
+		Series: []metrics.Series{
+			{Name: "s", Points: []metrics.Point{{X: 1, Y: 2}}},
+		},
+	}
+	rep.Notef("hello %d", 42)
+	if err := rep.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fake.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "hello 42") {
+		t.Fatalf("txt missing note: %s", txt)
+	}
+	csvData, err := os.ReadFile(filepath.Join(dir, "fake.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csvData), "s,1,2") {
+		t.Fatalf("csv wrong: %s", csvData)
+	}
+}
+
+func TestRunManyDeterministicSeeds(t *testing.T) {
+	cfg := testbedConfig(2, false, tinyScale()) // FESTIVE
+	a, err := runMany(cfg, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runMany(cfg, tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MeanClientRate() != b[i].MeanClientRate() {
+			t.Fatal("runMany not deterministic")
+		}
+	}
+}
+
+func TestExtensionExperimentsSmoke(t *testing.T) {
+	for _, id := range []string{"ext-coexist", "ext-abr"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(tinyScale())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Series) == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry smoke is not for -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(tinyScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+				t.Fatal("no output")
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report ID %q != experiment ID %q", rep.ID, e.ID)
+			}
+			if err := rep.WriteFiles(t.TempDir()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+// Package experiments defines one reproducible experiment per table and
+// figure in the paper's evaluation (Tables I-II, Figures 4-12), shared
+// by cmd/flarebench and the repository benchmarks. Each experiment runs
+// the relevant cellsim scenarios, aggregates the paper's metrics, and
+// renders a text table and/or CSV plot series.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/flare-sim/flare/internal/metrics"
+)
+
+// Report is one experiment's renderable outcome.
+type Report struct {
+	// ID is the experiment identifier (e.g. "table1", "fig6").
+	ID string
+	// Title describes the paper artefact reproduced.
+	Title string
+	// Tables are text tables (Tables I/II style).
+	Tables []*metrics.Table
+	// Series are plottable figure data (CDFs, time series, sweeps).
+	Series []metrics.Series
+	// Notes carry headline numbers and observations for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.Series) > 0 {
+		fmt.Fprintf(&b, "(%d plot series; write with -out)\n", len(r.Series))
+	}
+	return b.String()
+}
+
+// WriteFiles stores the report under dir: <id>.txt for the text view and
+// <id>.csv for the plot series (when any).
+func (r *Report) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: create %s: %w", dir, err)
+	}
+	txt := filepath.Join(dir, r.ID+".txt")
+	if err := os.WriteFile(txt, []byte(r.String()), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", txt, err)
+	}
+	if len(r.Series) > 0 {
+		csvPath := filepath.Join(dir, r.ID+".csv")
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return fmt.Errorf("experiments: create %s: %w", csvPath, err)
+		}
+		defer f.Close()
+		if err := metrics.WriteSeriesCSV(f, r.Series...); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiments: close %s: %w", csvPath, err)
+		}
+	}
+	return nil
+}
+
+// Scale shrinks experiments for fast runs. Full reproduces the paper's
+// durations and run counts; Quick is sized for go test / benchmarks.
+type Scale struct {
+	// DurationFactor multiplies scenario durations (1 = paper scale).
+	DurationFactor float64
+	// Runs is the number of seeded repetitions per data point
+	// (the paper uses 20).
+	Runs int
+	// Parallel is the number of concurrent runs (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// Full is the paper-scale configuration.
+func Full() Scale { return Scale{DurationFactor: 1, Runs: 20} }
+
+// Quick is the scaled-down configuration used by tests and benchmarks.
+func Quick() Scale { return Scale{DurationFactor: 0.1, Runs: 3} }
+
+func (s Scale) normalized() Scale {
+	if s.DurationFactor <= 0 {
+		s.DurationFactor = 1
+	}
+	if s.Runs <= 0 {
+		s.Runs = 1
+	}
+	return s
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	// ID matches the DESIGN.md per-experiment index.
+	ID string
+	// Title is the paper artefact.
+	Title string
+	// Run executes the experiment.
+	Run func(scale Scale) (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I — static testbed summary (FESTIVE/GOOGLE/FLARE)", Run: RunTable1},
+		{ID: "table2", Title: "Table II — dynamic testbed summary (FESTIVE/GOOGLE/FLARE)", Run: RunTable2},
+		{ID: "fig4", Title: "Figure 4 — static scenario time series", Run: RunFig4},
+		{ID: "fig5", Title: "Figure 5 — dynamic scenario time series", Run: RunFig5},
+		{ID: "fig6", Title: "Figure 6 — static CDFs over 160 clients (FLARE/AVIS/FESTIVE)", Run: RunFig6},
+		{ID: "fig7", Title: "Figure 7 — mobile CDFs over 160 clients (FLARE/AVIS/FESTIVE)", Run: RunFig7},
+		{ID: "fig8", Title: "Figure 8 — continuous relaxation vs exact FLARE", Run: RunFig8},
+		{ID: "fig9", Title: "Figure 9 — solver computation-time CDFs (32/64/128 clients)", Run: RunFig9},
+		{ID: "fig10", Title: "Figure 10 — video/data coexistence CDFs", Run: RunFig10},
+		{ID: "fig11", Title: "Figure 11 — alpha sweep of flow throughputs", Run: RunFig11},
+		{ID: "fig12", Title: "Figure 12 — delta sweep of bitrate and stability", Run: RunFig12},
+		{ID: "ext-coexist", Title: "Extension — coexistence with conventional players (Section V)", Run: RunExtCoexist},
+		{ID: "ext-abr", Title: "Extension — FLARE vs BBA/MPC and the paper's client baselines", Run: RunExtABR},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,53 @@
+package has
+
+import "testing"
+
+func FuzzHighestAtMost(f *testing.F) {
+	f.Add(0.0)
+	f.Add(99_999.0)
+	f.Add(100_000.0)
+	f.Add(2_999_999.0)
+	f.Add(3_000_000.0)
+	f.Add(1e18)
+	f.Add(-5.0)
+	l := SimLadder()
+	f.Fuzz(func(t *testing.T, bps float64) {
+		i := l.HighestAtMost(bps)
+		if i < 0 || i >= l.Len() {
+			t.Fatalf("index %d out of range for %v", i, bps)
+		}
+		if i > 0 && l.Rate(i) > bps {
+			t.Fatalf("rate %v above target %v at non-floor index", l.Rate(i), bps)
+		}
+		if i+1 < l.Len() && l.Rate(i+1) <= bps {
+			t.Fatalf("higher rung %v also fits %v", l.Rate(i+1), bps)
+		}
+	})
+}
+
+func FuzzSegmentBytesAt(f *testing.F) {
+	f.Add(0, 0, 0.0)
+	f.Add(100, 3, 0.3)
+	f.Add(-1, -1, 2.0)
+	f.Add(1<<30, 99, 0.9)
+	f.Fuzz(func(t *testing.T, idx, quality int, jitter float64) {
+		m, err := NewMPD(SimLadder(), 2_000_000_000, 0) // 2 s
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SizeJitter = jitter
+		sz := m.SegmentBytesAt(idx, quality)
+		if sz <= 0 {
+			t.Fatalf("segment size %d for idx=%d q=%d jitter=%v", sz, idx, quality, jitter)
+		}
+		base := m.SegmentBytes(quality)
+		if jitter > 0 {
+			lo, hi := int64(float64(base)*0.05), int64(float64(base)*1.95)
+			if sz < lo || sz > hi {
+				t.Fatalf("size %d outside clamp window around %d", sz, base)
+			}
+		} else if sz != base {
+			t.Fatalf("CBR size %d != base %d", sz, base)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package has
+
+import (
+	"fmt"
+	"time"
+)
+
+// Representation describes one encoding of the video, mirroring a DASH
+// MPD Representation element.
+type Representation struct {
+	// ID names the representation (e.g. "790k").
+	ID string `json:"id"`
+	// BandwidthBps is the encoding bitrate in bits/s.
+	BandwidthBps float64 `json:"bandwidth_bps"`
+}
+
+// MPD is the Media Presentation Description: segment timing plus the
+// available representations. The FLARE plugin extracts the bitrate ladder
+// from it and registers the ladder with the OneAPI server.
+type MPD struct {
+	// SegmentDuration is the play length of every segment.
+	SegmentDuration time.Duration `json:"segment_duration"`
+	// Representations are the available encodings, ascending by rate.
+	Representations []Representation `json:"representations"`
+	// TotalSegments is the number of segments in the presentation;
+	// 0 means unbounded (live).
+	TotalSegments int `json:"total_segments"`
+	// SizeJitter enables VBR encodings: segment i at representation r
+	// is sized base*(1 + SizeJitter*u(i, r)) with u deterministic in
+	// [-1, 1]. 0 (the default) is constant-bitrate. Values are clamped
+	// to [0, 0.9] when sizing.
+	SizeJitter float64 `json:"size_jitter,omitempty"`
+}
+
+// NewMPD builds an MPD from a ladder.
+func NewMPD(ladder Ladder, segDur time.Duration, totalSegments int) (*MPD, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if segDur <= 0 {
+		return nil, fmt.Errorf("has: segment duration must be positive, got %v", segDur)
+	}
+	if totalSegments < 0 {
+		return nil, fmt.Errorf("has: negative segment count %d", totalSegments)
+	}
+	reps := make([]Representation, len(ladder))
+	for i, r := range ladder {
+		reps[i] = Representation{
+			ID:           fmt.Sprintf("%.0fk", r/1000),
+			BandwidthBps: r,
+		}
+	}
+	return &MPD{
+		SegmentDuration: segDur,
+		Representations: reps,
+		TotalSegments:   totalSegments,
+	}, nil
+}
+
+// Ladder extracts the bitrate ladder from the representations.
+func (m *MPD) Ladder() Ladder {
+	l := make(Ladder, len(m.Representations))
+	for i, r := range m.Representations {
+		l[i] = r.BandwidthBps
+	}
+	return l
+}
+
+// SegmentBytes returns the size in bytes of one segment at the given
+// representation index (clamped).
+func (m *MPD) SegmentBytes(quality int) int64 {
+	l := m.Ladder()
+	rate := l.Rate(quality)
+	return int64(rate * m.SegmentDuration.Seconds() / 8)
+}
+
+// SegmentBytesAt returns the size of segment idx at the given
+// representation, applying the deterministic VBR jitter. CBR
+// presentations (SizeJitter 0) size every segment identically.
+func (m *MPD) SegmentBytesAt(idx, quality int) int64 {
+	base := m.SegmentBytes(quality)
+	j := m.SizeJitter
+	if j <= 0 {
+		return base
+	}
+	if j > 0.9 {
+		j = 0.9
+	}
+	return int64(float64(base) * (1 + j*vbrNoise(idx, quality)))
+}
+
+// vbrNoise maps (segment, representation) to a deterministic value in
+// [-1, 1] via a splitmix64-style mix, so every player and the media
+// server agree on each segment's size.
+func vbrNoise(idx, quality int) float64 {
+	z := uint64(idx)*0x9e3779b97f4a7c15 + uint64(quality)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<52) - 1 // [0, 2) - 1 -> [-1, 1)
+}
+
+// SegmentSeconds returns the segment duration in seconds.
+func (m *MPD) SegmentSeconds() float64 { return m.SegmentDuration.Seconds() }

@@ -1,0 +1,393 @@
+package has
+
+import (
+	"fmt"
+
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/transport"
+)
+
+// State is the player-side information an Adapter may use when choosing
+// the next segment's quality.
+type State struct {
+	// NowTTI is the current simulated time.
+	NowTTI int64
+	// BufferSeconds is the current playout buffer level.
+	BufferSeconds float64
+	// LastQuality is the ladder index of the previously selected
+	// segment, or -1 before the first selection.
+	LastQuality int
+	// SegmentsDownloaded counts completed segments.
+	SegmentsDownloaded int
+	// Ladder is the available bitrate ladder.
+	Ladder Ladder
+	// Playing reports whether playback is currently running.
+	Playing bool
+}
+
+// SegmentRecord describes one completed segment download.
+type SegmentRecord struct {
+	// Index is the segment's sequence number.
+	Index int
+	// Quality is the ladder index that was downloaded.
+	Quality int
+	// RateBps is the encoding bitrate.
+	RateBps float64
+	// Bytes is the segment size.
+	Bytes int64
+	// StartTTI and EndTTI bound the download (request to last byte).
+	StartTTI, EndTTI int64
+	// ThroughputBps is the measured download throughput.
+	ThroughputBps float64
+}
+
+// Adapter chooses segment qualities — the pluggable rate-adaptation
+// algorithm (FESTIVE, GOOGLE, AVIS client, or the FLARE plugin).
+type Adapter interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// NextQuality returns the ladder index for the next segment.
+	NextQuality(s State) int
+	// OnSegmentComplete feeds back the finished download.
+	OnSegmentComplete(rec SegmentRecord)
+}
+
+// RequestPacer is an optional Adapter extension: a non-zero delay
+// postpones the next segment request by that many TTIs (FESTIVE's
+// randomized chunk scheduling).
+type RequestPacer interface {
+	RequestDelay(s State) int64
+}
+
+// PlayerConfig parameterises the player state machine.
+type PlayerConfig struct {
+	// StartupSegments is how many segments must be buffered before
+	// playback starts (and resumes after a stall).
+	StartupSegments int
+	// MaxBufferSeconds pauses segment requests while the buffer is at
+	// or above this level.
+	MaxBufferSeconds float64
+	// RequestLatencyTTIs is the HTTP GET propagation delay before the
+	// server starts sending the response.
+	RequestLatencyTTIs int64
+}
+
+// DefaultPlayerConfig returns the standard player settings: start after 2
+// segments, cap the buffer at 30 s, 20 ms request latency.
+func DefaultPlayerConfig() PlayerConfig {
+	return PlayerConfig{
+		StartupSegments:    2,
+		MaxBufferSeconds:   30,
+		RequestLatencyTTIs: 20,
+	}
+}
+
+func (c PlayerConfig) validate() error {
+	if c.StartupSegments <= 0 {
+		return fmt.Errorf("has: StartupSegments must be positive, got %d", c.StartupSegments)
+	}
+	if c.MaxBufferSeconds <= 0 {
+		return fmt.Errorf("has: MaxBufferSeconds must be positive, got %v", c.MaxBufferSeconds)
+	}
+	if c.RequestLatencyTTIs < 0 {
+		return fmt.Errorf("has: negative request latency %d", c.RequestLatencyTTIs)
+	}
+	return nil
+}
+
+// Player is the HAS client state machine. It downloads segments
+// sequentially over one TCP flow, maintains the playout buffer, detects
+// stalls, and records QoE statistics. Single-goroutine, event-driven.
+type Player struct {
+	cfg     PlayerConfig
+	env     transport.Env
+	flow    *transport.Flow
+	mpd     *MPD
+	adapter Adapter
+
+	// OnSegment, if set, is invoked after each completed segment.
+	OnSegment func(rec SegmentRecord)
+
+	nextSeg     int
+	lastQuality int
+	downloading bool
+	segStartTTI int64
+	segBytes    int64
+	segRecv     int64
+	segQuality  int
+
+	// Lazily-advanced playback state.
+	buffer     float64 // seconds, as of lastTTI
+	lastTTI    int64
+	playing    bool
+	stalled    bool // stalled after playback had started
+	everPlayed bool
+	done       bool
+
+	stallSeconds float64
+	stallCount   int
+	startTTI     int64 // when Start was called
+	startupTTI   int64 // when playback first started, -1 until then
+
+	records   []SegmentRecord
+	qualities []int
+}
+
+// NewPlayer builds a player over the given flow. The flow's OnDelivered
+// hook is taken over by the player.
+func NewPlayer(env transport.Env, flow *transport.Flow, mpd *MPD, adapter Adapter, cfg PlayerConfig) (*Player, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := mpd.Ladder().Validate(); err != nil {
+		return nil, err
+	}
+	if adapter == nil {
+		return nil, fmt.Errorf("has: nil adapter")
+	}
+	p := &Player{
+		cfg:         cfg,
+		env:         env,
+		flow:        flow,
+		mpd:         mpd,
+		adapter:     adapter,
+		lastQuality: -1,
+		startupTTI:  -1,
+	}
+	flow.OnDelivered = p.onBytes
+	return p, nil
+}
+
+// Adapter returns the player's rate-adaptation algorithm.
+func (p *Player) Adapter() Adapter { return p.adapter }
+
+// MPD returns the media description the player is streaming.
+func (p *Player) MPD() *MPD { return p.mpd }
+
+// Flow returns the underlying transport flow.
+func (p *Player) Flow() *transport.Flow { return p.flow }
+
+// Start kicks off the first segment request.
+func (p *Player) Start() {
+	p.lastTTI = p.env.NowTTI()
+	p.startTTI = p.lastTTI
+	p.requestNext()
+}
+
+// State snapshots the adapter-visible player state at the current time.
+func (p *Player) State() State {
+	now := p.env.NowTTI()
+	p.advance(now)
+	return State{
+		NowTTI:             now,
+		BufferSeconds:      p.buffer,
+		LastQuality:        p.lastQuality,
+		SegmentsDownloaded: len(p.records),
+		Ladder:             p.mpd.Ladder(),
+		Playing:            p.playing,
+	}
+}
+
+// BufferSeconds returns the current playout buffer level.
+func (p *Player) BufferSeconds() float64 {
+	p.advance(p.env.NowTTI())
+	return p.buffer
+}
+
+// StallSeconds returns the cumulative rebuffering time (stalls after
+// playback first started; the initial startup delay is not counted).
+func (p *Player) StallSeconds() float64 {
+	p.advance(p.env.NowTTI())
+	return p.stallSeconds
+}
+
+// StallCount returns the number of rebuffering events.
+func (p *Player) StallCount() int {
+	p.advance(p.env.NowTTI())
+	return p.stallCount
+}
+
+// StartupDelaySeconds returns the time from Start until playback first
+// began, or -1 if playback never started.
+func (p *Player) StartupDelaySeconds() float64 {
+	if p.startupTTI < 0 {
+		return -1
+	}
+	return float64(p.startupTTI-p.startTTI) / lte.TTIsPerSecond
+}
+
+// Records returns the completed segment downloads. The slice must not be
+// modified.
+func (p *Player) Records() []SegmentRecord { return p.records }
+
+// Qualities returns the ladder index selected for each completed segment.
+func (p *Player) Qualities() []int { return p.qualities }
+
+// SelectedRates returns the bitrate of each completed segment in bits/s.
+func (p *Player) SelectedRates() []float64 {
+	l := p.mpd.Ladder()
+	out := make([]float64, len(p.qualities))
+	for i, q := range p.qualities {
+		out[i] = l.Rate(q)
+	}
+	return out
+}
+
+// Done reports whether the presentation finished downloading or the
+// session was stopped.
+func (p *Player) Done() bool { return p.done }
+
+// Stop ends the session: no further segment requests are issued (an
+// in-flight download completes and is still recorded). Used for
+// client-churn scenarios where viewers leave mid-stream.
+func (p *Player) Stop() {
+	p.advance(p.env.NowTTI())
+	p.done = true
+}
+
+// advance brings the lazy playback state up to now: drains the buffer
+// while playing and accumulates stall time while stalled.
+func (p *Player) advance(now int64) {
+	if now <= p.lastTTI {
+		return
+	}
+	dt := float64(now-p.lastTTI) / lte.TTIsPerSecond
+	p.lastTTI = now
+	if p.playing {
+		if dt <= p.buffer {
+			p.buffer -= dt
+			return
+		}
+		// Ran dry partway through the interval.
+		stallDt := dt - p.buffer
+		p.buffer = 0
+		p.playing = false
+		if (p.done || p.nextSeg >= p.totalSegments()) && !p.downloading {
+			// Presentation played out to the end (or the session was
+			// stopped): not a stall.
+			return
+		}
+		p.stalled = true
+		p.stallCount++
+		p.stallSeconds += stallDt
+		return
+	}
+	if p.stalled {
+		p.stallSeconds += dt
+	}
+}
+
+func (p *Player) totalSegments() int {
+	if p.mpd.TotalSegments <= 0 {
+		return int(^uint(0) >> 1) // unbounded
+	}
+	return p.mpd.TotalSegments
+}
+
+// maybeStartPlayback starts or resumes playback once enough segments are
+// buffered.
+func (p *Player) maybeStartPlayback() {
+	threshold := float64(p.cfg.StartupSegments) * p.mpd.SegmentSeconds()
+	if !p.playing && p.buffer >= threshold {
+		p.playing = true
+		p.stalled = false
+		if !p.everPlayed {
+			p.everPlayed = true
+			p.startupTTI = p.lastTTI
+		}
+	}
+}
+
+// requestNext issues the next segment request if allowed.
+func (p *Player) requestNext() {
+	now := p.env.NowTTI()
+	p.advance(now)
+	if p.downloading || p.done {
+		return
+	}
+	if p.nextSeg >= p.totalSegments() {
+		p.done = true
+		return
+	}
+	// Buffer cap: defer the request until the buffer drains below the
+	// maximum.
+	if p.buffer >= p.cfg.MaxBufferSeconds {
+		wait := int64((p.buffer-p.cfg.MaxBufferSeconds)*lte.TTIsPerSecond) + 1
+		if !p.playing {
+			wait = 100 // re-check while paused; drain only happens in playback
+		}
+		p.env.Schedule(wait, p.requestNext)
+		return
+	}
+	// Optional adapter pacing (FESTIVE's randomized scheduling).
+	if pacer, ok := p.adapter.(RequestPacer); ok {
+		if d := pacer.RequestDelay(p.stateLocked(now)); d > 0 {
+			p.env.Schedule(d, p.requestNext)
+			return
+		}
+	}
+
+	q := p.mpd.Ladder().Clamp(p.adapter.NextQuality(p.stateLocked(now)))
+	p.segQuality = q
+	p.segBytes = p.mpd.SegmentBytesAt(p.nextSeg, q)
+	p.segRecv = 0
+	p.segStartTTI = now
+	p.downloading = true
+	if p.cfg.RequestLatencyTTIs > 0 {
+		bytes := p.segBytes
+		p.env.Schedule(p.cfg.RequestLatencyTTIs, func() { p.flow.Send(bytes) })
+	} else {
+		p.flow.Send(p.segBytes)
+	}
+}
+
+// stateLocked builds a State without re-advancing (advance already ran).
+func (p *Player) stateLocked(now int64) State {
+	return State{
+		NowTTI:             now,
+		BufferSeconds:      p.buffer,
+		LastQuality:        p.lastQuality,
+		SegmentsDownloaded: len(p.records),
+		Ladder:             p.mpd.Ladder(),
+		Playing:            p.playing,
+	}
+}
+
+// onBytes handles radio-delivered bytes for the in-progress segment.
+func (p *Player) onBytes(n int64) {
+	if !p.downloading {
+		return
+	}
+	p.segRecv += n
+	if p.segRecv < p.segBytes {
+		return
+	}
+	now := p.env.NowTTI()
+	p.advance(now)
+
+	dlSeconds := float64(now-p.segStartTTI) / lte.TTIsPerSecond
+	if dlSeconds <= 0 {
+		dlSeconds = 1.0 / lte.TTIsPerSecond
+	}
+	rec := SegmentRecord{
+		Index:         p.nextSeg,
+		Quality:       p.segQuality,
+		RateBps:       p.mpd.Ladder().Rate(p.segQuality),
+		Bytes:         p.segBytes,
+		StartTTI:      p.segStartTTI,
+		EndTTI:        now,
+		ThroughputBps: float64(p.segBytes) * 8 / dlSeconds,
+	}
+	p.records = append(p.records, rec)
+	p.qualities = append(p.qualities, p.segQuality)
+	p.lastQuality = p.segQuality
+	p.nextSeg++
+	p.downloading = false
+	p.buffer += p.mpd.SegmentSeconds()
+	p.maybeStartPlayback()
+	p.adapter.OnSegmentComplete(rec)
+	if p.OnSegment != nil {
+		p.OnSegment(rec)
+	}
+	p.requestNext()
+}

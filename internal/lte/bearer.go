@@ -1,0 +1,189 @@
+package lte
+
+import "fmt"
+
+// BearerClass distinguishes video bearers (eligible for GBR treatment)
+// from best-effort data bearers.
+type BearerClass int
+
+// Bearer classes. Video bearers may carry a GBR; data bearers are always
+// non-GBR, matching the paper's "video segments are serviced with the
+// GBR, the data traffic is serviced with non-GBR".
+const (
+	ClassVideo BearerClass = iota + 1
+	ClassData
+)
+
+// String implements fmt.Stringer.
+func (c BearerClass) String() string {
+	switch c {
+	case ClassVideo:
+		return "video"
+	case ClassData:
+		return "data"
+	default:
+		return fmt.Sprintf("BearerClass(%d)", int(c))
+	}
+}
+
+// WindowStats is the per-bearer accounting the eNodeB's Statistics
+// Reporter hands to the OneAPI server each BAI: the RBs assigned (n_u)
+// and bytes transmitted (b_u) since the previous report.
+type WindowStats struct {
+	Bytes int64 `json:"bytes"`
+	RBs   int64 `json:"rbs"`
+}
+
+// tput averaging constants. avgTputTTIs is the proportional-fair
+// averaging window (the classic 100 ms); fastTputTTIs is the shorter
+// window used for GBR/MBR eligibility checks.
+const (
+	avgTputTTIs  = 100
+	fastTputTTIs = 40
+)
+
+// Bearer is one downlink flow at the eNodeB: a drop-tail byte queue plus
+// the per-flow accounting the schedulers and the FLARE controller need.
+// Bearers are owned and driven by a single ENodeB and are not safe for
+// concurrent use.
+type Bearer struct {
+	// ID identifies the bearer within its cell.
+	ID int
+	// UE is the index of the UE this bearer belongs to (for the channel).
+	UE int
+	// Class is the traffic class.
+	Class BearerClass
+	// GBRBits is the guaranteed bit rate in bits/s; 0 means non-GBR.
+	GBRBits float64
+	// MBRBits is the maximum bit rate in bits/s; 0 means unlimited.
+	MBRBits float64
+	// QueueLimit caps the queue in bytes; excess Enqueue bytes are
+	// dropped (drop-tail), which is what triggers TCP loss recovery.
+	// 0 means unlimited.
+	QueueLimit int64
+
+	// OnDeliver, if set, is invoked with the number of bytes drained
+	// from the queue each TTI the bearer is served. The transport layer
+	// uses it to generate ACKs.
+	OnDeliver func(bytes int64)
+
+	queue int64
+
+	win        WindowStats
+	total      WindowStats
+	avgTput    float64 // EWMA bits/s over avgTputTTIs, for PF metrics
+	fastTput   float64 // EWMA bits/s over fastTputTTIs, for GBR checks
+	gbrCredit  float64 // bytes owed to meet GBR (two-phase scheduler)
+	mbrCredit  float64 // token bucket for strict MBR enforcement
+	mbrPrimed  bool
+	everServed bool
+}
+
+// Enqueue adds bytes to the bearer queue and returns the number of bytes
+// actually accepted (drop-tail beyond QueueLimit). Negative counts are
+// rejected with 0.
+func (b *Bearer) Enqueue(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	accepted := bytes
+	if b.QueueLimit > 0 && b.queue+bytes > b.QueueLimit {
+		accepted = b.QueueLimit - b.queue
+		if accepted < 0 {
+			accepted = 0
+		}
+	}
+	b.queue += accepted
+	return accepted
+}
+
+// Backlog returns the queued bytes awaiting transmission.
+func (b *Bearer) Backlog() int64 { return b.queue }
+
+// AvgTputBits returns the proportional-fair average throughput estimate
+// in bits/s.
+func (b *Bearer) AvgTputBits() float64 { return b.avgTput }
+
+// FastTputBits returns the short-window throughput estimate used for
+// GBR/MBR eligibility.
+func (b *Bearer) FastTputBits() float64 { return b.fastTput }
+
+// CollectWindow returns the bytes/RBs accounted since the last call and
+// resets the window — the Statistics Reporter contract.
+func (b *Bearer) CollectWindow() WindowStats {
+	w := b.win
+	b.win = WindowStats{}
+	return w
+}
+
+// TotalStats returns cumulative bytes/RBs since the bearer was created.
+func (b *Bearer) TotalStats() WindowStats { return b.total }
+
+// serve drains up to capBytes from the queue, records the RB cost, and
+// fires OnDeliver. It returns the bytes actually served.
+func (b *Bearer) serve(capBytes int64, rbs int) int64 {
+	served := capBytes
+	if served > b.queue {
+		served = b.queue
+	}
+	b.queue -= served
+	b.win.Bytes += served
+	b.win.RBs += int64(rbs)
+	b.total.Bytes += served
+	b.total.RBs += int64(rbs)
+	if served > 0 {
+		b.everServed = true
+		if b.OnDeliver != nil {
+			b.OnDeliver(served)
+		}
+	}
+	return served
+}
+
+// tick updates the throughput averages with the bits served this TTI.
+// Called once per TTI for every bearer, served or not.
+func (b *Bearer) tick(servedBits float64) {
+	instant := servedBits * TTIsPerSecond // bits/s delivered this TTI
+	b.avgTput += (instant - b.avgTput) / avgTputTTIs
+	b.fastTput += (instant - b.fastTput) / fastTputTTIs
+	if b.GBRBits > 0 {
+		// Accrue the GBR debt in bytes and pay it down with service.
+		b.gbrCredit += b.GBRBits / 8 / TTIsPerSecond
+		b.gbrCredit -= servedBits / 8
+		// Don't bank more than one second of credit, and don't let
+		// surplus service turn into unbounded negative credit either.
+		if limit := b.GBRBits / 8; b.gbrCredit > limit {
+			b.gbrCredit = limit
+		} else if b.gbrCredit < -limit {
+			b.gbrCredit = -limit
+		}
+	} else {
+		b.gbrCredit = 0
+	}
+	if b.MBRBits > 0 {
+		if !b.mbrPrimed {
+			b.mbrPrimed = true
+			b.mbrCredit = mbrBurstBytes(b.MBRBits)
+		}
+		b.mbrCredit += b.MBRBits / 8 / TTIsPerSecond
+		b.mbrCredit -= servedBits / 8
+		if burst := mbrBurstBytes(b.MBRBits); b.mbrCredit > burst {
+			b.mbrCredit = burst
+		}
+	} else {
+		b.mbrPrimed = false
+	}
+}
+
+// mbrBurstBytes is the MBR token bucket depth: 50 ms at the cap rate.
+func mbrBurstBytes(mbrBits float64) float64 {
+	return mbrBits / 8 * 0.05
+}
+
+// underMBR reports whether the bearer may be scheduled given its MBR
+// cap. Enforcement is a token bucket, so the delivered rate can never
+// average above the MBR — the strict cap AVIS-style network control
+// relies on.
+func (b *Bearer) underMBR() bool {
+	return b.MBRBits <= 0 || b.mbrCredit > 0
+}

@@ -1,0 +1,143 @@
+package lte
+
+import "fmt"
+
+// ENodeB is the cell: it owns the bearers, drives the channel, and runs
+// the scheduler once per TTI. It is single-goroutine by design — the
+// simulation kernel calls RunTTI from its loop.
+type ENodeB struct {
+	channel  Channel
+	sched    Scheduler
+	bearers  []*Bearer
+	rbgSizes []int
+
+	// scratch buffers reused across TTIs to avoid per-TTI allocation.
+	flowStates []FlowState
+	flowPtrs   []*FlowState
+	served     []float64
+}
+
+// NewENodeB creates a cell with the given channel and scheduler.
+func NewENodeB(ch Channel, sched Scheduler) *ENodeB {
+	return &ENodeB{
+		channel:  ch,
+		sched:    sched,
+		rbgSizes: RBGSizes(),
+	}
+}
+
+// SetScheduler swaps the scheduler, e.g. between experiment arms.
+func (e *ENodeB) SetScheduler(s Scheduler) { e.sched = s }
+
+// Scheduler returns the active scheduler.
+func (e *ENodeB) Scheduler() Scheduler { return e.sched }
+
+// Channel returns the channel model.
+func (e *ENodeB) Channel() Channel { return e.channel }
+
+// AddBearer registers a bearer with the cell and returns it. The UE
+// index must be valid for the channel model.
+func (e *ENodeB) AddBearer(b *Bearer) (*Bearer, error) {
+	if b.UE < 0 || b.UE >= e.channel.NumUEs() {
+		return nil, fmt.Errorf("lte: bearer %d references UE %d, channel has %d UEs", b.ID, b.UE, e.channel.NumUEs())
+	}
+	e.bearers = append(e.bearers, b)
+	return b, nil
+}
+
+// Bearers returns the registered bearers. The slice must not be modified.
+func (e *ENodeB) Bearers() []*Bearer { return e.bearers }
+
+// BearerByID returns the bearer with the given ID, or nil.
+func (e *ENodeB) BearerByID(id int) *Bearer {
+	for _, b := range e.bearers {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// SetGBR updates a bearer's guaranteed bit rate — the PCEF/Continuous GBR
+// Updater pathway.
+func (e *ENodeB) SetGBR(bearerID int, gbrBits float64) error {
+	b := e.BearerByID(bearerID)
+	if b == nil {
+		return fmt.Errorf("lte: no bearer with ID %d", bearerID)
+	}
+	b.GBRBits = gbrBits
+	return nil
+}
+
+// SetMBR updates a bearer's maximum bit rate.
+func (e *ENodeB) SetMBR(bearerID int, mbrBits float64) error {
+	b := e.BearerByID(bearerID)
+	if b == nil {
+		return fmt.Errorf("lte: no bearer with ID %d", bearerID)
+	}
+	b.MBRBits = mbrBits
+	return nil
+}
+
+// TTIResult summarises one TTI for the caller.
+type TTIResult struct {
+	// ServedBytes is the total bytes drained across all bearers.
+	ServedBytes int64
+	// UsedRBs is the number of RBs granted to flows with backlog.
+	UsedRBs int
+}
+
+// RunTTI advances the channel, schedules the TTI, drains the bearer
+// queues, and updates per-bearer accounting. It must be called exactly
+// once per TTI in increasing TTI order.
+func (e *ENodeB) RunTTI(tti int64) TTIResult {
+	e.channel.Update(tti)
+
+	if cap(e.flowStates) < len(e.bearers) {
+		e.flowStates = make([]FlowState, len(e.bearers))
+		e.flowPtrs = make([]*FlowState, 0, len(e.bearers))
+		e.served = make([]float64, len(e.bearers))
+	}
+	e.flowStates = e.flowStates[:len(e.bearers)]
+	e.flowPtrs = e.flowPtrs[:0]
+	e.served = e.served[:len(e.bearers)]
+	for i := range e.served {
+		e.served[i] = 0
+	}
+
+	// Build the schedulable set: bearers with backlog.
+	for i, b := range e.bearers {
+		iTbs := e.channel.ITbs(b.UE)
+		e.flowStates[i] = FlowState{
+			Bearer:    b,
+			ITbs:      iTbs,
+			BitsPerRB: BitsPerRB(iTbs),
+			remaining: b.Backlog(),
+			idx:       i,
+		}
+		if b.Backlog() > 0 {
+			e.flowPtrs = append(e.flowPtrs, &e.flowStates[i])
+		}
+	}
+
+	var res TTIResult
+	if len(e.flowPtrs) > 0 {
+		e.sched.Allocate(tti, e.flowPtrs, e.rbgSizes)
+		for _, f := range e.flowPtrs {
+			if f.granted == 0 {
+				continue
+			}
+			capBytes := int64(TBSBytes(f.ITbs, f.granted))
+			served := f.Bearer.serve(capBytes, f.granted)
+			res.ServedBytes += served
+			res.UsedRBs += f.granted
+			e.served[f.idx] = float64(served * 8)
+		}
+	}
+
+	// Throughput averages decay every TTI for every bearer.
+	for i, b := range e.bearers {
+		b.tick(e.served[i])
+	}
+	return res
+}

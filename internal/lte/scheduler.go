@@ -1,0 +1,252 @@
+package lte
+
+// FlowState is the per-TTI view of a bearer the schedulers allocate
+// against.
+type FlowState struct {
+	// Bearer is the flow being scheduled.
+	Bearer *Bearer
+	// ITbs is the UE's current MCS index.
+	ITbs int
+	// BitsPerRB is the per-RB capacity at ITbs, precomputed by the eNB.
+	BitsPerRB float64
+
+	// remaining tracks the unserved backlog within the TTI as RBGs are
+	// granted, so schedulers stop feeding a flow once its queue is
+	// covered.
+	remaining int64
+	// granted accumulates RBs granted this TTI.
+	granted int
+	// idx is the bearer's index in the eNodeB's bearer slice.
+	idx int
+}
+
+// grantedBytes returns the byte capacity of n RBs at this flow's MCS.
+func (f *FlowState) grantBytes(nRB int) int64 {
+	return int64(f.BitsPerRB * float64(nRB) / 8)
+}
+
+// eligible reports whether the flow can absorb more RBs this TTI.
+func (f *FlowState) eligible() bool {
+	return f.remaining > 0 && f.Bearer.underMBR()
+}
+
+// instantRateBits returns the full-band instantaneous rate in bits/s the
+// UE would get if granted all RBs — the numerator of the PF metric.
+func (f *FlowState) instantRateBits() float64 {
+	return f.BitsPerRB * NumRB * TTIsPerSecond
+}
+
+// pfMetric is the proportional-fair metric: instantaneous achievable rate
+// over average delivered rate. The small floor keeps newly admitted flows
+// (average ~0) from producing +Inf while still strongly favouring them.
+func (f *FlowState) pfMetric() float64 {
+	avg := f.Bearer.AvgTputBits()
+	if avg < 1000 {
+		avg = 1000
+	}
+	return f.instantRateBits() / avg
+}
+
+// Scheduler allocates the TTI's resource block groups among flows.
+// Implementations mutate the FlowState grant fields via grant().
+type Scheduler interface {
+	// Name identifies the scheduler in logs and experiment output.
+	Name() string
+	// Allocate distributes the RBGs in rbgSizes among flows, returning
+	// the number of RBs granted to each flow (indexed like flows).
+	Allocate(tti int64, flows []*FlowState, rbgSizes []int) []int
+}
+
+// grant gives one RBG to a flow, updating its intra-TTI bookkeeping.
+func grant(f *FlowState, rbs int) {
+	f.granted += rbs
+	f.remaining -= f.grantBytes(rbs)
+}
+
+// grants materialises the per-flow RB counts after allocation.
+func grants(flows []*FlowState) []int {
+	out := make([]int, len(flows))
+	for i, f := range flows {
+		out[i] = f.granted
+	}
+	return out
+}
+
+// PFScheduler is the classic proportional-fair scheduler: each RBG goes
+// to the eligible flow with the highest instantaneous-to-average rate
+// ratio. It ignores GBR but respects MBR caps.
+type PFScheduler struct{}
+
+var _ Scheduler = (*PFScheduler)(nil)
+
+// Name implements Scheduler.
+func (PFScheduler) Name() string { return "pf" }
+
+// Allocate implements Scheduler.
+func (PFScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+	for _, size := range rbgSizes {
+		best := pickMaxPF(flows, nil)
+		if best == nil {
+			break
+		}
+		grant(best, size)
+	}
+	return grants(flows)
+}
+
+// pickMaxPF returns the eligible flow with the highest PF metric, or nil
+// when none is eligible. When filter is non-nil only flows for which it
+// returns true are considered.
+func pickMaxPF(flows []*FlowState, filter func(*FlowState) bool) *FlowState {
+	var best *FlowState
+	bestMetric := -1.0
+	for _, f := range flows {
+		if !f.eligible() {
+			continue
+		}
+		if filter != nil && !filter(f) {
+			continue
+		}
+		if m := f.pfMetric(); m > bestMetric {
+			bestMetric = m
+			best = f
+		}
+	}
+	return best
+}
+
+// PrioritySetScheduler reproduces the ns-3 Priority Set Scheduler (PSS)
+// the paper's Table III lists, extended with the MBR assignment the
+// authors added: flows whose short-window throughput is below their GBR
+// (the "target bit rate") form a priority set scheduled first in time
+// domain; remaining RBGs are shared proportionally fair. Flows at or
+// above their MBR are never scheduled.
+type PrioritySetScheduler struct{}
+
+var _ Scheduler = (*PrioritySetScheduler)(nil)
+
+// Name implements Scheduler.
+func (PrioritySetScheduler) Name() string { return "pss" }
+
+// Allocate implements Scheduler.
+func (PrioritySetScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+	inPrioritySet := func(f *FlowState) bool {
+		return f.Bearer.GBRBits > 0 && f.Bearer.FastTputBits() < f.Bearer.GBRBits
+	}
+	for _, size := range rbgSizes {
+		best := pickMaxPF(flows, inPrioritySet)
+		if best == nil {
+			best = pickMaxPF(flows, nil)
+		}
+		if best == nil {
+			break
+		}
+		grant(best, size)
+	}
+	return grants(flows)
+}
+
+// TwoPhaseGBRScheduler is the FLARE testbed scheduler from Section III-B:
+// Phase 1 serves video flows up to their GBR (tracked with a per-flow
+// byte credit), Phase 2 hands the remaining RBGs to both video and data
+// flows with legacy proportional fair. Because data traffic rides
+// non-GBR, Phase 2 lets video opportunistically exceed its GBR when the
+// optimiser lags the radio ("the Scheduler Module can opportunistically
+// use the RBs of data traffic for video flows").
+type TwoPhaseGBRScheduler struct{}
+
+var _ Scheduler = (*TwoPhaseGBRScheduler)(nil)
+
+// Name implements Scheduler.
+func (TwoPhaseGBRScheduler) Name() string { return "gbr2p" }
+
+// Allocate implements Scheduler.
+func (TwoPhaseGBRScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+	// Phase 1: GBR video flows with outstanding credit, most-starved
+	// first (largest credit backlog).
+	credit := make(map[*FlowState]float64, len(flows))
+	for _, f := range flows {
+		if f.Bearer.Class == ClassVideo && f.Bearer.GBRBits > 0 {
+			credit[f] = f.Bearer.gbrCredit
+		}
+	}
+	next := 0
+	for next < len(rbgSizes) {
+		var best *FlowState
+		bestCredit := 0.0
+		for _, f := range flows {
+			c, isGBR := credit[f]
+			if !isGBR || c <= 0 || !f.eligible() {
+				continue
+			}
+			if best == nil || c > bestCredit {
+				best, bestCredit = f, c
+			}
+		}
+		if best == nil {
+			break
+		}
+		size := rbgSizes[next]
+		next++
+		grant(best, size)
+		credit[best] -= float64(best.grantBytes(size))
+	}
+	// Phase 2: legacy PF over everything still eligible.
+	for ; next < len(rbgSizes); next++ {
+		best := pickMaxPF(flows, nil)
+		if best == nil {
+			break
+		}
+		grant(best, rbgSizes[next])
+	}
+	return grants(flows)
+}
+
+// SlicedScheduler statically partitions the RBGs between video and data
+// flows — the AVIS-style static resource division the paper criticises.
+// VideoFraction of the RBGs are offered to video flows first (PF among
+// them, respecting MBR); the rest go to data flows. RBGs left idle in
+// one slice are NOT reassigned to the other class, reproducing AVIS's
+// documented under-utilisation.
+type SlicedScheduler struct {
+	// VideoFraction is the fraction of RBGs reserved for video flows.
+	VideoFraction float64
+}
+
+var _ Scheduler = (*SlicedScheduler)(nil)
+
+// Name implements Scheduler.
+func (SlicedScheduler) Name() string { return "sliced" }
+
+// Allocate implements Scheduler. Within the video slice, flows below
+// their GBR are served first (the base station drags every GBR bearer
+// toward its guaranteed rate, regardless of how many RBs a poor channel
+// makes that cost — the enforcement behaviour that lets a stale AVIS
+// assignment starve the rest of the slice).
+func (s SlicedScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+	videoRBGs := int(s.VideoFraction*float64(len(rbgSizes)) + 0.5)
+	if videoRBGs > len(rbgSizes) {
+		videoRBGs = len(rbgSizes)
+	}
+	isVideo := func(f *FlowState) bool { return f.Bearer.Class == ClassVideo }
+	videoUnderGBR := func(f *FlowState) bool {
+		return isVideo(f) && f.Bearer.GBRBits > 0 && f.Bearer.FastTputBits() < f.Bearer.GBRBits
+	}
+	isData := func(f *FlowState) bool { return f.Bearer.Class == ClassData }
+	for i, size := range rbgSizes {
+		var best *FlowState
+		if i < videoRBGs {
+			best = pickMaxPF(flows, videoUnderGBR)
+			if best == nil {
+				best = pickMaxPF(flows, isVideo)
+			}
+		} else {
+			best = pickMaxPF(flows, isData)
+		}
+		if best == nil {
+			continue // slice idles rather than borrowing
+		}
+		grant(best, size)
+	}
+	return grants(flows)
+}

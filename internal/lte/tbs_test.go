@@ -1,0 +1,114 @@
+package lte
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRBGSizesSumToNumRB(t *testing.T) {
+	sizes := RBGSizes()
+	if len(sizes) != NumRBG {
+		t.Fatalf("got %d RBGs, want %d", len(sizes), NumRBG)
+	}
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != NumRB {
+		t.Fatalf("RBG sizes sum to %d, want %d", sum, NumRB)
+	}
+	if last := sizes[len(sizes)-1]; last != 2 {
+		t.Fatalf("last RBG size = %d, want 2 (16*3+2=50)", last)
+	}
+}
+
+func TestBitsPerRBMonotone(t *testing.T) {
+	for i := MinITbs; i < MaxITbs; i++ {
+		if BitsPerRB(i) >= BitsPerRB(i+1) {
+			t.Fatalf("BitsPerRB not strictly increasing at %d: %v >= %v",
+				i, BitsPerRB(i), BitsPerRB(i+1))
+		}
+	}
+}
+
+func TestCellRateCalibration(t *testing.T) {
+	// The table is calibrated so iTbs=2 gives ~4.4 Mbps and iTbs=26
+	// gives ~36 Mbps at full band (DESIGN.md substitution).
+	if got := CellRateBps(2); math.Abs(got-4.4e6) > 1e3 {
+		t.Errorf("CellRateBps(2) = %v, want ~4.4e6", got)
+	}
+	if got := CellRateBps(26); math.Abs(got-36e6) > 1e4 {
+		t.Errorf("CellRateBps(26) = %v, want ~36e6", got)
+	}
+}
+
+func TestTBSBitsScalesWithRBs(t *testing.T) {
+	check := func(iTbsRaw uint8, nRBRaw uint8) bool {
+		iTbs := int(iTbsRaw) % (MaxITbs + 1)
+		nRB := int(nRBRaw)%NumRB + 1
+		bits := TBSBits(iTbs, nRB)
+		if bits <= 0 {
+			return false
+		}
+		// More RBs never yield fewer bits.
+		return TBSBits(iTbs, nRB) <= TBSBits(iTbs, nRB+1) || nRB == NumRB
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTBSBitsEdgeCases(t *testing.T) {
+	if TBSBits(5, 0) != 0 {
+		t.Error("TBSBits with 0 RBs should be 0")
+	}
+	if TBSBits(5, -3) != 0 {
+		t.Error("TBSBits with negative RBs should be 0")
+	}
+	// nRB above the cell width is clamped.
+	if TBSBits(5, 100) != TBSBits(5, NumRB) {
+		t.Error("TBSBits should clamp nRB at NumRB")
+	}
+	// Out-of-range iTbs is clamped, not wrapped.
+	if TBSBits(99, 10) != TBSBits(MaxITbs, 10) {
+		t.Error("TBSBits should clamp iTbs at MaxITbs")
+	}
+	if TBSBits(-5, 10) != TBSBits(MinITbs, 10) {
+		t.Error("TBSBits should clamp iTbs at MinITbs")
+	}
+}
+
+func TestTBSBytes(t *testing.T) {
+	if got, want := TBSBytes(2, NumRB), TBSBits(2, NumRB)/8; got != want {
+		t.Fatalf("TBSBytes = %d, want %d", got, want)
+	}
+}
+
+func TestClampITbs(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-1, 0}, {0, 0}, {13, 13}, {26, 26}, {27, 26}, {1000, 26},
+	}
+	for _, tc := range cases {
+		if got := ClampITbs(tc.in); got != tc.want {
+			t.Errorf("ClampITbs(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestITbsForSINRMonotone(t *testing.T) {
+	prev := -1
+	for s := -20.0; s <= 40; s += 0.5 {
+		i := ITbsForSINR(s)
+		if i < prev {
+			t.Fatalf("ITbsForSINR not monotone at %v dB: %d < %d", s, i, prev)
+		}
+		prev = i
+	}
+	if ITbsForSINR(-30) != MinITbs {
+		t.Error("very low SINR should map to MinITbs")
+	}
+	if ITbsForSINR(50) != MaxITbs {
+		t.Error("very high SINR should map to MaxITbs")
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotGlyphs distinguish series on one canvas.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// AsciiPlot renders the series onto a width x height character canvas
+// with min/max axis annotations — enough to eyeball a CDF or a sweep in
+// a terminal without any plotting dependency. Series beyond the glyph
+// set reuse glyphs.
+func AsciiPlot(width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			total++
+		}
+	}
+	if total == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%11.4g +%s\n", maxY, strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		prefix := "            |"
+		if r == height-1 {
+			prefix = fmt.Sprintf("%11.4g +", minY)
+		}
+		b.WriteString(prefix)
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%13s%-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	return b.String()
+}

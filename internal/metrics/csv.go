@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Series is a named sequence of plot points — one line on a paper figure.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// SeriesFromCDF converts a CDF into a plottable series with at most n
+// points.
+func SeriesFromCDF(name string, c *CDF, n int) Series {
+	return Series{Name: name, Points: c.Points(n)}
+}
+
+// SeriesFromTimeSeries converts a time series into a plottable series,
+// downsampled to at most n points.
+func SeriesFromTimeSeries(name string, ts *TimeSeries, n int) Series {
+	return Series{Name: name, Points: ts.Downsample(n).Points()}
+}
+
+// WriteSeriesCSV writes one or more series to w in long form:
+// series,x,y — the format consumed by any plotting tool.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', 8, 64),
+				strconv.FormatFloat(p.Y, 'g', 8, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("metrics: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush csv: %w", err)
+	}
+	return nil
+}

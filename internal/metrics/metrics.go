@@ -1,0 +1,246 @@
+// Package metrics implements the quality-of-experience and fairness
+// statistics the paper reports: average bitrate, bitrate-change counts,
+// Jain's fairness index, rebuffering time, empirical CDFs, and simple
+// table/CSV renderers for the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stdev returns the population standard deviation of xs, or 0 when xs has
+// fewer than two elements.
+func Stdev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// HarmonicMean returns the harmonic mean of xs. Non-positive samples are
+// skipped (a zero-throughput sample would otherwise dominate the
+// estimate); an empty or all-non-positive slice yields 0.
+func HarmonicMean(xs []float64) float64 {
+	var inv float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		inv += 1 / x
+		n++
+	}
+	if n == 0 || inv == 0 {
+		return 0
+	}
+	return float64(n) / inv
+}
+
+// JainIndex returns Jain's fairness index of xs:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J is 1 when all values are equal and 1/n in the most unfair case.
+// An empty or all-zero slice yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// CountChanges returns the number of positions where consecutive values
+// differ — the paper's "number of bitrate changes" metric over a sequence
+// of selected segment bitrates.
+func CountChanges(xs []float64) int {
+	n := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// CDF is an empirical cumulative distribution function over a sample set.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples. The input slice is copied.
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0, 1] using the
+// nearest-rank method. It returns 0 for an empty CDF.
+func (c *CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[n-1]
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Min returns the smallest sample, or 0 for an empty CDF.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample, or 0 for an empty CDF.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 { return Mean(c.sorted) }
+
+// Points returns up to n evenly spaced (value, probability) points
+// suitable for plotting the CDF curve.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		// Index of the sample representing this plot point.
+		idx := (i + 1) * len(c.sorted) / n
+		if idx > len(c.sorted) {
+			idx = len(c.sorted)
+		}
+		pts = append(pts, Point{
+			X: c.sorted[idx-1],
+			Y: float64(idx) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is a single (x, y) plot point.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// TimeSeries collects (time, value) samples, e.g. per-second video rate.
+type TimeSeries struct {
+	points []Point
+}
+
+// Add appends a sample at time t (seconds).
+func (ts *TimeSeries) Add(t, v float64) {
+	ts.points = append(ts.points, Point{X: t, Y: v})
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the underlying samples. The returned slice must not be
+// modified.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// Values returns just the sample values, in insertion order.
+func (ts *TimeSeries) Values() []float64 {
+	vs := make([]float64, len(ts.points))
+	for i, p := range ts.points {
+		vs[i] = p.Y
+	}
+	return vs
+}
+
+// MeanValue returns the mean of the sample values.
+func (ts *TimeSeries) MeanValue() float64 { return Mean(ts.Values()) }
+
+// Downsample returns a series with at most n points, averaging buckets of
+// consecutive samples. It preserves the time of each bucket's first point.
+func (ts *TimeSeries) Downsample(n int) *TimeSeries {
+	if n <= 0 || len(ts.points) <= n {
+		out := &TimeSeries{points: make([]Point, len(ts.points))}
+		copy(out.points, ts.points)
+		return out
+	}
+	out := &TimeSeries{points: make([]Point, 0, n)}
+	bucket := (len(ts.points) + n - 1) / n
+	for i := 0; i < len(ts.points); i += bucket {
+		end := i + bucket
+		if end > len(ts.points) {
+			end = len(ts.points)
+		}
+		var sum float64
+		for _, p := range ts.points[i:end] {
+			sum += p.Y
+		}
+		out.points = append(out.points, Point{
+			X: ts.points[i].X,
+			Y: sum / float64(end-i),
+		})
+	}
+	return out
+}
+
+// FormatKbps renders a bits-per-second value as Kbps with no decimals.
+func FormatKbps(bps float64) string {
+	return fmt.Sprintf("%.0f Kbps", bps/1000)
+}

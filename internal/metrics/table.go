@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned text tables in the style of the paper's Tables I
+// and II: one row label per metric, one column per scheme.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []tableRow
+}
+
+type tableRow struct {
+	label string
+	cells []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Extra cells are dropped, missing cells rendered
+// empty, so callers may pass exactly len(Columns) values.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.rows = append(t.rows, tableRow{label: label, cells: cells})
+}
+
+// AddFloatRow appends a row of numeric cells rendered with the given
+// format verb (e.g. "%.1f").
+func (t *Table) AddFloatRow(label, format string, values ...float64) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf(format, v)
+	}
+	t.AddRow(label, cells...)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	labelWidth := 0
+	for _, r := range t.rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	colWidths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colWidths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r.cells {
+			if i < len(colWidths) && len(c) > colWidths[i] {
+				colWidths[i] = len(c)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(label string, cells []string) {
+		fmt.Fprintf(&b, "%-*s", labelWidth, label)
+		for i, w := range colWidths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "  %*s", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow("", t.Columns)
+	total := labelWidth
+	for _, w := range colWidths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r.label, r.cells)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package oneapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// Client is the FLARE plugin's HTTP side: it opens the flow's session,
+// polls assignments, and closes the session on teardown. One Client per
+// video flow.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	cellID  int
+	flowID  int
+}
+
+// NewClient creates a plugin client for one flow. baseURL is the OneAPI
+// server root (e.g. "http://127.0.0.1:8480"); httpc nil uses the default
+// client.
+func NewClient(baseURL string, cellID, flowID int, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, http: httpc, cellID: cellID, flowID: flowID}
+}
+
+// Open registers the session with the flow's ladder and preferences.
+func (c *Client) Open(ladder has.Ladder, prefs core.Preferences) error {
+	body, err := json.Marshal(SessionRequest{
+		FlowID:      c.flowID,
+		LadderBps:   ladder,
+		Preferences: prefs,
+	})
+	if err != nil {
+		return fmt.Errorf("oneapi: marshal session request: %w", err)
+	}
+	url := fmt.Sprintf("%s/oneapi/v4/cells/%d/sessions", c.baseURL, c.cellID)
+	resp, err := c.http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("oneapi: open session: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("oneapi: open session: %s", readErr(resp.Body, resp.StatusCode))
+	}
+	return nil
+}
+
+// Poll fetches the flow's current assignment. ok is false (without
+// error) when no BAI has assigned this flow yet.
+func (c *Client) Poll() (AssignmentResponse, bool, error) {
+	url := fmt.Sprintf("%s/oneapi/v4/cells/%d/assignments/%d", c.baseURL, c.cellID, c.flowID)
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return AssignmentResponse{}, false, fmt.Errorf("oneapi: poll: %w", err)
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var a AssignmentResponse
+		if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+			return AssignmentResponse{}, false, fmt.Errorf("oneapi: decode assignment: %w", err)
+		}
+		return a, true, nil
+	case http.StatusNotFound:
+		return AssignmentResponse{}, false, nil
+	default:
+		return AssignmentResponse{}, false, fmt.Errorf("oneapi: poll: %s", readErr(resp.Body, resp.StatusCode))
+	}
+}
+
+// UpdatePreferences replaces the session's client preferences — e.g. a
+// bitrate cap while on a metered plan, or the skimming signal.
+func (c *Client) UpdatePreferences(prefs core.Preferences) error {
+	body, err := json.Marshal(prefs)
+	if err != nil {
+		return fmt.Errorf("oneapi: marshal preferences: %w", err)
+	}
+	url := fmt.Sprintf("%s/oneapi/v4/cells/%d/sessions/%d/preferences", c.baseURL, c.cellID, c.flowID)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("oneapi: update preferences: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("oneapi: update preferences: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("oneapi: update preferences: %s", readErr(resp.Body, resp.StatusCode))
+	}
+	return nil
+}
+
+// Close tears down the session.
+func (c *Client) Close() error {
+	url := fmt.Sprintf("%s/oneapi/v4/cells/%d/sessions/%d", c.baseURL, c.cellID, c.flowID)
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return fmt.Errorf("oneapi: close session: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("oneapi: close session: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("oneapi: close session: %s", readErr(resp.Body, resp.StatusCode))
+	}
+	return nil
+}
+
+// ReportStats is the eNodeB Communication Module's client side: POST the
+// report, receive the GBR assignments to enforce.
+func ReportStats(httpc *http.Client, baseURL string, cellID int, report StatsReport) ([]core.Assignment, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	body, err := json.Marshal(report)
+	if err != nil {
+		return nil, fmt.Errorf("oneapi: marshal stats report: %w", err)
+	}
+	url := fmt.Sprintf("%s/oneapi/v4/cells/%d/stats", baseURL, cellID)
+	resp, err := httpc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("oneapi: report stats: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("oneapi: report stats: %s", readErr(resp.Body, resp.StatusCode))
+	}
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("oneapi: decode stats response: %w", err)
+	}
+	return sr.Assignments, nil
+}
+
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, rc)
+	_ = rc.Close()
+}
+
+func readErr(r io.Reader, status int) string {
+	var e ErrorResponse
+	if err := json.NewDecoder(r).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Sprintf("HTTP %d: %s", status, e.Error)
+	}
+	return fmt.Sprintf("HTTP %d", status)
+}

@@ -1,0 +1,129 @@
+package oneapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/flare-sim/flare/internal/core"
+)
+
+// Handler binds the server to JSON-over-HTTP in the shape of the OMA
+// RESTful Network APIs the paper builds on:
+//
+//	POST   /oneapi/v4/cells/{cell}/sessions            open a session
+//	DELETE /oneapi/v4/cells/{cell}/sessions/{flow}     close a session
+//	POST   /oneapi/v4/cells/{cell}/stats               eNB report -> BAI
+//	GET    /oneapi/v4/cells/{cell}/assignments/{flow}  plugin poll
+//
+// The stats POST doubles as the enforcement channel: its response body
+// carries the GBR assignments for the eNodeB's Continuous GBR Updater,
+// so no server-initiated connection to the eNodeB is needed.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /oneapi/v4/cells/{cell}/sessions", func(w http.ResponseWriter, r *http.Request) {
+		cellID, err := pathInt(r, "cell")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var req SessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode session request: %w", err))
+			return
+		}
+		if err := s.OpenSession(cellID, req); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	mux.HandleFunc("PUT /oneapi/v4/cells/{cell}/sessions/{flow}/preferences", func(w http.ResponseWriter, r *http.Request) {
+		cellID, err1 := pathInt(r, "cell")
+		flowID, err2 := pathInt(r, "flow")
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad path"))
+			return
+		}
+		var prefs core.Preferences
+		if err := json.NewDecoder(r.Body).Decode(&prefs); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode preferences: %w", err))
+			return
+		}
+		if err := s.SetPreferences(cellID, flowID, prefs); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("DELETE /oneapi/v4/cells/{cell}/sessions/{flow}", func(w http.ResponseWriter, r *http.Request) {
+		cellID, err1 := pathInt(r, "cell")
+		flowID, err2 := pathInt(r, "flow")
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad path"))
+			return
+		}
+		s.CloseSession(cellID, flowID)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /oneapi/v4/cells/{cell}/stats", func(w http.ResponseWriter, r *http.Request) {
+		cellID, err := pathInt(r, "cell")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var report StatsReport
+		if err := json.NewDecoder(r.Body).Decode(&report); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode stats report: %w", err))
+			return
+		}
+		assignments, err := s.RunBAI(cellID, report, nil)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, StatsResponse{Assignments: assignments})
+	})
+
+	mux.HandleFunc("GET /oneapi/v4/cells/{cell}/assignments/{flow}", func(w http.ResponseWriter, r *http.Request) {
+		cellID, err1 := pathInt(r, "cell")
+		flowID, err2 := pathInt(r, "flow")
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad path"))
+			return
+		}
+		a, ok := s.Assignment(cellID, flowID)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no assignment for flow %d yet", flowID))
+			return
+		}
+		writeJSON(w, http.StatusOK, a)
+	})
+
+	return mux
+}
+
+func pathInt(r *http.Request, key string) (int, error) {
+	v, err := strconv.Atoi(r.PathValue(key))
+	if err != nil {
+		return 0, fmt.Errorf("path segment %q is not an integer", key)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding to a live ResponseWriter can only fail on a broken
+	// connection; nothing actionable remains at that point.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

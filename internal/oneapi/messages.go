@@ -1,0 +1,51 @@
+// Package oneapi implements the coordination overlay between the FLARE
+// client plugins, the network (PCRF/PCEF), and the per-cell bitrate
+// controller — the role the paper assigns to an OMA OneAPI server.
+//
+// The server is transport-agnostic: simulations call it in-process, and
+// the femtocell testbed binds it to JSON-over-HTTP (see Handler), the
+// shape of the OMA RESTful Network API the paper builds on. Clients
+// register only their bitrate ladder and optional preferences — never
+// the video identity — matching the paper's privacy-minimisation
+// principle.
+package oneapi
+
+import "github.com/flare-sim/flare/internal/core"
+
+// SessionRequest registers a video flow with the OneAPI server: the
+// plugin sends the bitrate ladder parsed from the MPD (with identifying
+// metadata removed) and its optional client preferences.
+type SessionRequest struct {
+	FlowID      int              `json:"flow_id"`
+	LadderBps   []float64        `json:"ladder_bps"`
+	Preferences core.Preferences `json:"preferences"`
+}
+
+// StatsReport is the eNodeB Communication Module's periodic report: the
+// per-flow RB/byte accounting for the last BAI plus the PCRF's count of
+// concurrent data flows in the cell.
+type StatsReport struct {
+	Flows        map[int]core.FlowStats `json:"flows"`
+	NumDataFlows int                    `json:"num_data_flows"`
+}
+
+// StatsResponse carries the enforcement decisions back to the eNodeB:
+// the GBR to install per video bearer (the PCEF pathway piggybacked on
+// the report exchange).
+type StatsResponse struct {
+	Assignments []core.Assignment `json:"assignments"`
+}
+
+// AssignmentResponse is what a polling plugin receives: its current
+// bitrate assignment and the BAI sequence number it was computed in.
+type AssignmentResponse struct {
+	FlowID  int     `json:"flow_id"`
+	RateBps float64 `json:"rate_bps"`
+	Level   int     `json:"level"`
+	BAISeq  int64   `json:"bai_seq"`
+}
+
+// ErrorResponse is the JSON error envelope of the HTTP binding.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

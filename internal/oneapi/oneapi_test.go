@@ -1,0 +1,372 @@
+package oneapi
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+)
+
+func TestPCRFCounts(t *testing.T) {
+	p := NewPCRF()
+	if p.NumDataFlows(1) != 0 {
+		t.Fatal("empty PCRF nonzero")
+	}
+	p.RegisterDataFlow(1, 10)
+	p.RegisterDataFlow(1, 11)
+	p.RegisterDataFlow(2, 12)
+	if p.NumDataFlows(1) != 2 || p.NumDataFlows(2) != 1 {
+		t.Fatalf("counts %d/%d", p.NumDataFlows(1), p.NumDataFlows(2))
+	}
+	p.RegisterDataFlow(1, 10) // idempotent
+	if p.NumDataFlows(1) != 2 {
+		t.Fatal("duplicate registration counted twice")
+	}
+	p.UnregisterDataFlow(1, 10)
+	if p.NumDataFlows(1) != 1 {
+		t.Fatal("unregister failed")
+	}
+	p.UnregisterDataFlow(9, 99) // unknown cell is a no-op
+}
+
+func TestPCRFConcurrent(t *testing.T) {
+	p := NewPCRF()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.RegisterDataFlow(i%4, i)
+			p.NumDataFlows(i % 4)
+			p.UnregisterDataFlow(i%4, i)
+		}(i)
+	}
+	wg.Wait()
+	for c := 0; c < 4; c++ {
+		if p.NumDataFlows(c) != 0 {
+			t.Fatalf("cell %d leaked flows", c)
+		}
+	}
+}
+
+func serverForTest() *Server {
+	cfg := core.DefaultConfig()
+	cfg.Delta = 1
+	return NewServer(cfg, nil)
+}
+
+func TestServerSessionLifecycle(t *testing.T) {
+	s := serverForTest()
+	req := SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}
+	if err := s.OpenSession(0, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.OpenSession(0, req); err == nil {
+		t.Fatal("duplicate session accepted")
+	}
+	// Same flow ID in a different cell is a separate controller.
+	if err := s.OpenSession(1, req); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseSession(0, 1)
+	if err := s.OpenSession(0, req); err != nil {
+		t.Fatalf("re-open after close failed: %v", err)
+	}
+	if err := s.OpenSession(0, SessionRequest{FlowID: 9, LadderBps: []float64{}}); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+}
+
+func TestServerRunBAIEnforcesGBR(t *testing.T) {
+	s := serverForTest()
+	if err := s.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	gbrs := map[int]float64{}
+	pcef := PCEFFunc(func(flowID int, gbr float64) error {
+		gbrs[flowID] = gbr
+		return nil
+	})
+	report := StatsReport{
+		Flows:        map[int]core.FlowStats{1: {Bytes: 1_000_000, RBs: 50_000}},
+		NumDataFlows: 0,
+	}
+	as, err := s.RunBAI(0, report, pcef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flow is alone in an empty cell with a healthy radio report:
+	// the unconstrained first BAI places it at the ladder top.
+	if len(as) != 1 || as[0].RateBps != 3_000_000 {
+		t.Fatalf("first BAI assignments %v", as)
+	}
+	if gbrs[1] != 3_000_000 {
+		t.Fatalf("PCEF got GBR %v", gbrs[1])
+	}
+	// Polling view matches.
+	a, ok := s.Assignment(0, 1)
+	if !ok || a.RateBps != 3_000_000 || a.BAISeq != 1 {
+		t.Fatalf("Assignment = %+v, %v", a, ok)
+	}
+	if _, ok := s.Assignment(0, 99); ok {
+		t.Fatal("assignment for unknown flow")
+	}
+	if _, ok := s.Assignment(9, 1); ok {
+		t.Fatal("assignment for unknown cell")
+	}
+}
+
+func TestServerUsesPCRFWhenReportDefers(t *testing.T) {
+	s := serverForTest()
+	s.PCRF().RegisterDataFlow(0, 100)
+	if err := s.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	// NumDataFlows -1 defers to the PCRF; just verify it runs.
+	if _, err := s.RunBAI(0, StatsReport{NumDataFlows: -1}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerClimbsOverBAIs(t *testing.T) {
+	s := serverForTest()
+	if err := s.OpenSession(0, SessionRequest{FlowID: 7, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	report := StatsReport{
+		Flows: map[int]core.FlowStats{7: {Bytes: 2_000_000, RBs: 50_000}},
+	}
+	var last core.Assignment
+	for i := 0; i < 40; i++ {
+		as, err := s.RunBAI(0, report, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = as[0]
+	}
+	if last.Level != has.SimLadder().Len()-1 {
+		t.Fatalf("flow stuck at level %d", last.Level)
+	}
+	if times := s.SolveTimes(0); len(times) != 40 {
+		t.Fatalf("%d solve times", len(times))
+	}
+	if times := s.SolveTimes(5); times != nil {
+		t.Fatal("solve times for unknown cell")
+	}
+}
+
+func TestServerSetPreferences(t *testing.T) {
+	s := serverForTest()
+	if err := s.SetPreferences(0, 1, core.Preferences{}); err == nil {
+		t.Fatal("preferences for unknown cell accepted")
+	}
+	if err := s.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPreferences(0, 1, core.Preferences{MaxBps: 250_000}); err != nil {
+		t.Fatal(err)
+	}
+	report := StatsReport{Flows: map[int]core.FlowStats{1: {Bytes: 2_000_000, RBs: 50_000}}}
+	var last core.Assignment
+	for i := 0; i < 30; i++ {
+		as, err := s.RunBAI(0, report, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = as[0]
+	}
+	if last.RateBps > 250_000 {
+		t.Fatalf("preference cap violated: %v", last.RateBps)
+	}
+}
+
+// --- HTTP binding ---
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := serverForTest()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	plugin := NewClient(ts.URL, 0, 3, ts.Client())
+	if err := plugin.Open(has.SimLadder(), core.Preferences{}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate open conflicts.
+	if err := plugin.Open(has.SimLadder(), core.Preferences{}); err == nil {
+		t.Fatal("duplicate open succeeded")
+	}
+	// No assignment before the first BAI.
+	if _, ok, err := plugin.Poll(); err != nil || ok {
+		t.Fatalf("pre-BAI poll: ok=%v err=%v", ok, err)
+	}
+	// eNB reports stats; the response carries the GBR assignments.
+	report := StatsReport{
+		Flows: map[int]core.FlowStats{3: {Bytes: 1_000_000, RBs: 50_000}},
+	}
+	as, err := ReportStats(ts.Client(), ts.URL, 0, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 1 || as[0].FlowID != 3 {
+		t.Fatalf("assignments %v", as)
+	}
+	// The plugin now sees its assignment.
+	a, ok, err := plugin.Poll()
+	if err != nil || !ok {
+		t.Fatalf("poll failed: ok=%v err=%v", ok, err)
+	}
+	if a.RateBps <= 0 || a.BAISeq != 1 {
+		t.Fatalf("polled assignment %+v", a)
+	}
+	if err := plugin.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After close the assignment is gone.
+	if _, ok, _ := plugin.Poll(); ok {
+		t.Fatal("assignment survived close")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	s := serverForTest()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// Non-integer cell.
+	resp, err := ts.Client().Post(ts.URL+"/oneapi/v4/cells/abc/sessions", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for bad cell", resp.StatusCode)
+	}
+	// Malformed JSON body.
+	resp, err = ts.Client().Post(ts.URL+"/oneapi/v4/cells/0/stats", "application/json",
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for empty stats body", resp.StatusCode)
+	}
+}
+
+func TestServerConcurrentAccess(t *testing.T) {
+	s := serverForTest()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cell := i % 2
+			if err := s.OpenSession(cell, SessionRequest{FlowID: i, LadderBps: has.SimLadder()}); err != nil {
+				t.Error(err)
+				return
+			}
+			report := StatsReport{Flows: map[int]core.FlowStats{i: {Bytes: 100_000, RBs: 10_000}}}
+			if _, err := s.RunBAI(cell, report, nil); err != nil {
+				t.Error(err)
+			}
+			s.Assignment(cell, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestHTTPPreferencesUpdate(t *testing.T) {
+	s := serverForTest()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	plugin := NewClient(ts.URL, 0, 1, ts.Client())
+	// Preferences for an unknown session 404.
+	if err := plugin.UpdatePreferences(core.Preferences{MaxBps: 1}); err == nil {
+		t.Fatal("preferences for unknown session accepted")
+	}
+	if err := plugin.Open(has.SimLadder(), core.Preferences{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := plugin.UpdatePreferences(core.Preferences{MaxBps: 250_000}); err != nil {
+		t.Fatal(err)
+	}
+	// The cap binds on the next BAI.
+	report := StatsReport{Flows: map[int]core.FlowStats{1: {Bytes: 2_000_000, RBs: 50_000}}}
+	var last core.Assignment
+	for i := 0; i < 20; i++ {
+		as, err := s.RunBAI(0, report, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = as[0]
+	}
+	if last.RateBps > 250_000 {
+		t.Fatalf("HTTP preference cap ignored: %v", last.RateBps)
+	}
+	// Skimming pins to the floor even with a rich radio.
+	if err := plugin.UpdatePreferences(core.Preferences{Skimming: true}); err != nil {
+		t.Fatal(err)
+	}
+	as, err := s.RunBAI(0, report, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as[0].Level != 0 {
+		t.Fatalf("skimming session assigned level %d", as[0].Level)
+	}
+}
+
+func TestHandoverMovesSessionBetweenCells(t *testing.T) {
+	s := serverForTest()
+	prefs := core.Preferences{MaxBps: 500_000}
+	if err := s.OpenSession(0, SessionRequest{FlowID: 7, LadderBps: has.SimLadder(), Preferences: prefs}); err != nil {
+		t.Fatal(err)
+	}
+	report := StatsReport{Flows: map[int]core.FlowStats{7: {Bytes: 1_000_000, RBs: 50_000}}}
+	if _, err := s.RunBAI(0, report, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Move the session to cell 1.
+	if err := s.Handover(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Gone from the source cell.
+	if _, ok := s.Assignment(0, 7); ok {
+		t.Fatal("assignment survived handover at the source")
+	}
+	if _, err := s.RunBAI(0, StatsReport{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Live in the target cell, preferences intact (the 500k cap binds).
+	var last core.Assignment
+	for i := 0; i < 10; i++ {
+		as, err := s.RunBAI(1, report, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != 1 {
+			t.Fatalf("target cell has %d sessions", len(as))
+		}
+		last = as[0]
+	}
+	if last.RateBps > 500_000 {
+		t.Fatalf("preferences lost in handover: assigned %v", last.RateBps)
+	}
+	// Error paths.
+	if err := s.Handover(9, 1, 7); err == nil {
+		t.Fatal("handover from unknown cell accepted")
+	}
+	if err := s.Handover(1, 0, 99); err == nil {
+		t.Fatal("handover of unknown flow accepted")
+	}
+	// Handover onto a cell where the ID is taken conflicts.
+	if err := s.OpenSession(0, SessionRequest{FlowID: 7, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handover(1, 0, 7); err == nil {
+		t.Fatal("handover onto an occupied flow ID accepted")
+	}
+}

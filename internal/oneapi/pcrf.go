@@ -1,0 +1,42 @@
+package oneapi
+
+import "sync"
+
+// PCRF is the policy-and-charging-rules stand-in: the network function
+// that "manages and monitors all flows in the network" and tells the
+// OneAPI server how many non-video flows share each cell.
+type PCRF struct {
+	mu    sync.Mutex
+	cells map[int]map[int]struct{} // cell -> data flow IDs
+}
+
+// NewPCRF creates an empty flow registry.
+func NewPCRF() *PCRF {
+	return &PCRF{cells: make(map[int]map[int]struct{})}
+}
+
+// RegisterDataFlow records a non-video flow in a cell.
+func (p *PCRF) RegisterDataFlow(cellID, flowID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.cells[cellID]
+	if !ok {
+		c = make(map[int]struct{})
+		p.cells[cellID] = c
+	}
+	c[flowID] = struct{}{}
+}
+
+// UnregisterDataFlow removes a departed data flow.
+func (p *PCRF) UnregisterDataFlow(cellID, flowID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.cells[cellID], flowID)
+}
+
+// NumDataFlows returns the live data-flow count for a cell.
+func (p *PCRF) NumDataFlows(cellID int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cells[cellID])
+}

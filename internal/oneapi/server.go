@@ -1,0 +1,186 @@
+package oneapi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// PCEF is the enforcement interface: the policy-and-charging enforcement
+// pathway through which the OneAPI server installs each video flow's GBR
+// at the eNodeB (the Continuous GBR Updater in the testbed MAC).
+type PCEF interface {
+	// SetGBR installs a guaranteed bit rate for a bearer.
+	SetGBR(flowID int, gbrBps float64) error
+}
+
+// PCEFFunc adapts a function to the PCEF interface.
+type PCEFFunc func(flowID int, gbrBps float64) error
+
+// SetGBR implements PCEF.
+func (f PCEFFunc) SetGBR(flowID int, gbrBps float64) error { return f(flowID, gbrBps) }
+
+type cellState struct {
+	controller *core.Controller
+	baiSeq     int64
+	current    map[int]core.Assignment
+}
+
+// Server is the OneAPI server: one FLARE controller per managed cell
+// ("a single OneAPI server can manage multiple BSs, though the bitrates
+// are calculated independently for each network cell"). It is safe for
+// concurrent use — the HTTP binding serves it from multiple goroutines.
+type Server struct {
+	cfg  core.Config
+	pcrf *PCRF
+
+	mu    sync.Mutex
+	cells map[int]*cellState
+}
+
+// NewServer builds a OneAPI server that creates controllers with cfg.
+func NewServer(cfg core.Config, pcrf *PCRF) *Server {
+	if pcrf == nil {
+		pcrf = NewPCRF()
+	}
+	return &Server{cfg: cfg, pcrf: pcrf, cells: make(map[int]*cellState)}
+}
+
+// PCRF exposes the server's flow registry.
+func (s *Server) PCRF() *PCRF { return s.pcrf }
+
+func (s *Server) cell(cellID int) *cellState {
+	c, ok := s.cells[cellID]
+	if !ok {
+		c = &cellState{
+			controller: core.NewController(s.cfg),
+			current:    make(map[int]core.Assignment),
+		}
+		s.cells[cellID] = c
+	}
+	return c
+}
+
+// OpenSession registers a video flow in a cell.
+func (s *Server) OpenSession(cellID int, req SessionRequest) error {
+	ladder := has.Ladder(req.LadderBps)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cell(cellID).controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
+		return fmt.Errorf("oneapi: open session: %w", err)
+	}
+	return nil
+}
+
+// CloseSession removes a video flow.
+func (s *Server) CloseSession(cellID, flowID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cells[cellID]; ok {
+		c.controller.Unregister(flowID)
+		delete(c.current, flowID)
+	}
+}
+
+// Handover moves a video session between cells (the multi-BS deployment:
+// the UE re-attaches at a neighbouring eNodeB and its session follows).
+// The session's ladder and preferences move with it; its bitrate level
+// restarts from the new cell's first unconstrained BAI, since the old
+// cell's radio-cost history is meaningless there.
+func (s *Server) Handover(fromCell, toCell, flowID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from, ok := s.cells[fromCell]
+	if !ok {
+		return fmt.Errorf("oneapi: handover: unknown source cell %d", fromCell)
+	}
+	snap, err := from.controller.Snapshot(flowID)
+	if err != nil {
+		return fmt.Errorf("oneapi: handover: %w", err)
+	}
+	to := s.cell(toCell)
+	if err := to.controller.Register(flowID, snap.Ladder, snap.Preferences); err != nil {
+		return fmt.Errorf("oneapi: handover: %w", err)
+	}
+	from.controller.Unregister(flowID)
+	delete(from.current, flowID)
+	return nil
+}
+
+// SetPreferences updates a session's client preferences.
+func (s *Server) SetPreferences(cellID, flowID int, prefs core.Preferences) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.cells[cellID]
+	if !ok {
+		return fmt.Errorf("oneapi: unknown cell %d", cellID)
+	}
+	return c.controller.SetPreferences(flowID, prefs)
+}
+
+// RunBAI consumes one statistics report for a cell, runs the bitrate
+// optimisation, installs GBRs through the PCEF (when non-nil), and
+// returns the assignments. A report's NumDataFlows of -1 defers to the
+// PCRF registry.
+func (s *Server) RunBAI(cellID int, report StatsReport, pcef PCEF) ([]core.Assignment, error) {
+	nData := report.NumDataFlows
+	if nData < 0 {
+		nData = s.pcrf.NumDataFlows(cellID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cell(cellID)
+	assignments, err := c.controller.RunBAI(report.Flows, nData)
+	if err != nil {
+		return nil, fmt.Errorf("oneapi: cell %d: %w", cellID, err)
+	}
+	c.baiSeq++
+	for _, a := range assignments {
+		c.current[a.FlowID] = a
+		if pcef != nil {
+			if err := pcef.SetGBR(a.FlowID, a.RateBps); err != nil {
+				return nil, fmt.Errorf("oneapi: enforce GBR for flow %d: %w", a.FlowID, err)
+			}
+		}
+	}
+	return assignments, nil
+}
+
+// Assignment returns a flow's most recent assignment, for polling
+// plugins. ok is false before the flow's first BAI.
+func (s *Server) Assignment(cellID, flowID int) (AssignmentResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.cells[cellID]
+	if !ok {
+		return AssignmentResponse{}, false
+	}
+	a, ok := c.current[flowID]
+	if !ok {
+		return AssignmentResponse{}, false
+	}
+	return AssignmentResponse{
+		FlowID:  a.FlowID,
+		RateBps: a.RateBps,
+		Level:   a.Level,
+		BAISeq:  c.baiSeq,
+	}, true
+}
+
+// SolveTimes returns the per-BAI optimiser wall times for a cell.
+func (s *Server) SolveTimes(cellID int) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.cells[cellID]
+	if !ok {
+		return nil
+	}
+	times := c.controller.SolveTimes()
+	out := make([]float64, len(times))
+	for i, d := range times {
+		out[i] = d.Seconds()
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package qoe implements the composite quality-of-experience score the
+// ABR literature settled on (Yin et al., SIGCOMM'15): per-segment
+// quality minus a switching penalty minus rebuffering and startup
+// penalties. The paper reports its three ingredients separately (average
+// bitrate, bitrate changes, buffer underflow time); the composite lets
+// the extension experiments rank schemes on one axis.
+package qoe
+
+import "math"
+
+// Weights parameterises the score.
+type Weights struct {
+	// LambdaSwitch scales the |q(R_k) - q(R_{k-1})| switching penalty.
+	LambdaSwitch float64
+	// MuRebufferPerSec penalises each second of rebuffering.
+	MuRebufferPerSec float64
+	// MuStartupPerSec penalises each second of startup delay (weighted
+	// lower than rebuffering, per the literature).
+	MuStartupPerSec float64
+}
+
+// DefaultWeights returns the conventional weighting: switching at parity
+// with quality deltas, rebuffering at the quality value of a top-rate
+// segment per second, startup at a third of that.
+func DefaultWeights() Weights {
+	return Weights{
+		LambdaSwitch:     1,
+		MuRebufferPerSec: 3000,
+		MuStartupPerSec:  1000,
+	}
+}
+
+// Quality maps a bitrate to quality points: log-scaled (doubling the
+// rate adds a constant), anchored so 100 kbps = 0.
+func Quality(rateBps float64) float64 {
+	if rateBps <= 0 {
+		return 0
+	}
+	return 1000 * math.Log(rateBps/1e5)
+}
+
+// Score computes the session QoE from the selected per-segment rates,
+// the rebuffering time, and the startup delay (seconds; pass 0 for an
+// unknown or never-started startup). The result is normalised per
+// segment so sessions of different lengths compare.
+func Score(ratesBps []float64, stallSec, startupSec float64, w Weights) float64 {
+	if len(ratesBps) == 0 {
+		return 0
+	}
+	var quality, switching float64
+	for i, r := range ratesBps {
+		quality += Quality(r)
+		if i > 0 {
+			switching += math.Abs(Quality(r) - Quality(ratesBps[i-1]))
+		}
+	}
+	if startupSec < 0 {
+		startupSec = 0
+	}
+	total := quality - w.LambdaSwitch*switching -
+		w.MuRebufferPerSec*stallSec - w.MuStartupPerSec*startupSec
+	return total / float64(len(ratesBps))
+}

@@ -1,0 +1,108 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a specific TTI.
+type Event struct {
+	// AtTTI is the TTI index at which the event fires.
+	AtTTI int64
+	// Run is invoked when the clock reaches AtTTI.
+	Run func()
+
+	seq   int64 // tie-break so same-TTI events run in scheduling order
+	index int   // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been removed from its queue.
+func (e *Event) Cancelled() bool { return e.index == -1 && e.Run == nil }
+
+// EventQueue is a priority queue of events ordered by firing TTI.
+// Events scheduled for the same TTI fire in the order they were scheduled.
+// The zero value is ready to use. EventQueue is not safe for concurrent
+// use; the simulation kernel is single-goroutine by design.
+type EventQueue struct {
+	h       eventHeap
+	nextSeq int64
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Schedule enqueues fn to run at the given TTI and returns the event
+// handle, which can be passed to Cancel.
+func (q *EventQueue) Schedule(atTTI int64, fn func()) *Event {
+	ev := &Event{AtTTI: atTTI, Run: fn, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, ev.index)
+	ev.index = -1
+	ev.Run = nil
+}
+
+// PeekTTI returns the TTI of the earliest pending event, or ok=false when
+// the queue is empty.
+func (q *EventQueue) PeekTTI() (tti int64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].AtTTI, true
+}
+
+// RunDue pops and runs every event whose firing TTI is <= now, in order.
+// It returns the number of events run. Events scheduled by a running
+// event for a TTI <= now are run in the same call.
+func (q *EventQueue) RunDue(now int64) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].AtTTI <= now {
+		ev := heap.Pop(&q.h).(*Event)
+		ev.index = -1
+		run := ev.Run
+		ev.Run = nil
+		if run != nil {
+			run()
+			n++
+		}
+	}
+	return n
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].AtTTI != h[j].AtTTI {
+		return h[i].AtTTI < h[j].AtTTI
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,85 @@
+package testbed
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/flare-sim/flare/internal/lte"
+)
+
+// EPC is the minimal evolved-packet-core stand-in the testbed needs in
+// place of the paper's commercial EPC emulator: it handles UE attach
+// (assigning UE indices and default bearers at the eNodeB) and tracks
+// which sessions are video vs data so the OneAPI server's PCRF view can
+// be fed.
+type EPC struct {
+	enb *ENodeB
+
+	mu       sync.Mutex
+	nextUE   int
+	sessions map[int]Session
+}
+
+// Session describes one attached UE's bearer.
+type Session struct {
+	// UE is the radio-side UE index.
+	UE int
+	// BearerID is the default bearer at the eNodeB.
+	BearerID int
+	// Class is the traffic class the bearer was set up with.
+	Class lte.BearerClass
+}
+
+// NewEPC wires an EPC to a cell.
+func NewEPC(enb *ENodeB) *EPC {
+	return &EPC{enb: enb, sessions: make(map[int]Session)}
+}
+
+// Attach admits a UE with a default bearer of the given class and
+// returns the session plus an HTTP client routed through the air
+// interface.
+func (e *EPC) Attach(class lte.BearerClass) (Session, *http.Client, error) {
+	e.mu.Lock()
+	ue := e.nextUE
+	if ue >= e.enb.Channel().NumUEs() {
+		e.mu.Unlock()
+		return Session{}, nil, fmt.Errorf("testbed: cell is full (%d UEs)", ue)
+	}
+	e.nextUE++
+	e.mu.Unlock()
+
+	bearerID, client, err := e.enb.Attach(ue, class)
+	if err != nil {
+		return Session{}, nil, err
+	}
+	s := Session{UE: ue, BearerID: bearerID, Class: class}
+	e.mu.Lock()
+	e.sessions[bearerID] = s
+	e.mu.Unlock()
+	return s, client, nil
+}
+
+// Sessions returns a snapshot of the attached sessions.
+func (e *EPC) Sessions() []Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// NumDataSessions counts attached data-class sessions.
+func (e *EPC) NumDataSessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, s := range e.sessions {
+		if s.Class == lte.ClassData {
+			n++
+		}
+	}
+	return n
+}

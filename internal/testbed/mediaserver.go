@@ -1,0 +1,92 @@
+package testbed
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// MediaServer serves a synthetic DASH presentation over real HTTP:
+//
+//	GET /video/mpd.json       -> the MPD (segment timing + ladder)
+//	GET /video/seg/{i}/{rep}  -> segment i at representation rep
+//
+// Segment bodies are generated on the fly at the exact encoded size, so
+// the testbed exercises genuine HTTP transfers without shipping media.
+type MediaServer struct {
+	mpd *has.MPD
+}
+
+// NewMediaServer builds a media server for one synthetic presentation.
+func NewMediaServer(ladder has.Ladder, segDur time.Duration, totalSegments int) (*MediaServer, error) {
+	mpd, err := has.NewMPD(ladder, segDur, totalSegments)
+	if err != nil {
+		return nil, err
+	}
+	return &MediaServer{mpd: mpd}, nil
+}
+
+// MPD returns the served presentation description.
+func (m *MediaServer) MPD() *has.MPD { return m.mpd }
+
+// Handler returns the server's HTTP handler.
+func (m *MediaServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /video/mpd.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Encoding errors here mean a dead client connection; there is
+		// nothing further to do with them.
+		_ = json.NewEncoder(w).Encode(m.mpd)
+	})
+	mux.HandleFunc("GET /video/seg/{idx}/{rep}", func(w http.ResponseWriter, r *http.Request) {
+		idx, err1 := strconv.Atoi(r.PathValue("idx"))
+		rep, err2 := strconv.Atoi(r.PathValue("rep"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad segment path", http.StatusBadRequest)
+			return
+		}
+		if idx < 0 || (m.mpd.TotalSegments > 0 && idx >= m.mpd.TotalSegments) {
+			http.Error(w, "segment out of range", http.StatusNotFound)
+			return
+		}
+		if rep < 0 || rep >= len(m.mpd.Representations) {
+			http.Error(w, "representation out of range", http.StatusNotFound)
+			return
+		}
+		size := m.mpd.SegmentBytesAt(idx, rep)
+		w.Header().Set("Content-Type", "video/mp4")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		writeSyntheticBody(w, size)
+	})
+	return mux
+}
+
+// writeSyntheticBody streams size bytes of deterministic filler.
+func writeSyntheticBody(w http.ResponseWriter, size int64) {
+	chunk := make([]byte, 32<<10)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	for size > 0 {
+		n := int64(len(chunk))
+		if n > size {
+			n = size
+		}
+		if _, err := w.Write(chunk[:n]); err != nil {
+			return // client went away mid-segment
+		}
+		size -= n
+	}
+}
+
+// SegmentURL builds the URL path for a segment.
+func SegmentURL(base string, idx, rep int) string {
+	return fmt.Sprintf("%s/video/seg/%d/%d", base, idx, rep)
+}
+
+// MPDURL builds the URL path for the MPD.
+func MPDURL(base string) string { return base + "/video/mpd.json" }

@@ -1,0 +1,121 @@
+// Package trace generates synthetic per-UE link-quality traces — the
+// "trace based model" row of the paper's Table III. The authors replay
+// recorded LTE bandwidth traces in ns-3; we synthesise traces with the
+// same statistical texture (bounded random walk, correlated dwell times,
+// occasional deep fades) so the trace-driven scenarios exercise the same
+// code paths.
+package trace
+
+import (
+	"fmt"
+
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/sim"
+)
+
+// Profile shapes the synthetic trace statistics.
+type Profile struct {
+	// MinITbs and MaxITbs bound the walk.
+	MinITbs, MaxITbs int
+	// StepStdev is the per-step Gaussian step size in iTbs units.
+	StepStdev float64
+	// FadeProbability is the per-step chance of entering a deep fade.
+	FadeProbability float64
+	// FadeDepth is how many iTbs levels a fade subtracts.
+	FadeDepth int
+	// FadeSteps is the fade duration in steps.
+	FadeSteps int
+}
+
+// Pedestrian returns a slowly varying profile (walking users).
+func Pedestrian() Profile {
+	return Profile{
+		MinITbs: 4, MaxITbs: 24,
+		StepStdev:       0.6,
+		FadeProbability: 0.005,
+		FadeDepth:       6,
+		FadeSteps:       4,
+	}
+}
+
+// Vehicular returns a rapidly varying profile (the paper's mobile
+// scenario texture: vehicles crossing coverage transitions).
+func Vehicular() Profile {
+	return Profile{
+		MinITbs: 0, MaxITbs: 26,
+		StepStdev:       1.8,
+		FadeProbability: 0.02,
+		FadeDepth:       10,
+		FadeSteps:       6,
+	}
+}
+
+func (p Profile) validate() error {
+	minI, maxI := lte.ClampITbs(p.MinITbs), lte.ClampITbs(p.MaxITbs)
+	if minI > maxI {
+		return fmt.Errorf("trace: min iTbs %d above max %d", p.MinITbs, p.MaxITbs)
+	}
+	if p.StepStdev < 0 {
+		return fmt.Errorf("trace: negative step stdev %v", p.StepStdev)
+	}
+	if p.FadeProbability < 0 || p.FadeProbability > 1 {
+		return fmt.Errorf("trace: fade probability %v out of [0,1]", p.FadeProbability)
+	}
+	return nil
+}
+
+// Generate produces one iTbs trace of n steps under the profile, using
+// its own stream split from rng.
+func Generate(p Profile, n int, rng *sim.RNG) ([]int, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: non-positive length %d", n)
+	}
+	r := rng.Split()
+	minI, maxI := lte.ClampITbs(p.MinITbs), lte.ClampITbs(p.MaxITbs)
+	span := maxI - minI
+
+	out := make([]int, n)
+	level := float64(minI) + r.Float64()*float64(span)
+	fadeLeft := 0
+	for i := 0; i < n; i++ {
+		level += r.Norm(0, p.StepStdev)
+		if level < float64(minI) {
+			level = float64(minI)
+		}
+		if level > float64(maxI) {
+			level = float64(maxI)
+		}
+		v := int(level + 0.5)
+		if fadeLeft == 0 && p.FadeProbability > 0 && r.Float64() < p.FadeProbability {
+			fadeLeft = p.FadeSteps
+		}
+		if fadeLeft > 0 {
+			fadeLeft--
+			v -= p.FadeDepth
+			if v < minI {
+				v = minI
+			}
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// GenerateSet produces one trace per UE, each from an independent stream.
+func GenerateSet(p Profile, numUEs, n int, rng *sim.RNG) ([][]int, error) {
+	if numUEs <= 0 {
+		return nil, fmt.Errorf("trace: non-positive UE count %d", numUEs)
+	}
+	out := make([][]int, numUEs)
+	for u := range out {
+		tr, err := Generate(p, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[u] = tr
+	}
+	return out, nil
+}

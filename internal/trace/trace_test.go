@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/sim"
+)
+
+func TestGenerateBounds(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, p := range []Profile{Pedestrian(), Vehicular()} {
+		tr, err := Generate(p, 5000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) != 5000 {
+			t.Fatalf("length %d", len(tr))
+		}
+		for i, v := range tr {
+			if v < lte.MinITbs || v > lte.MaxITbs {
+				t.Fatalf("step %d out of range: %d", i, v)
+			}
+			if v < p.MinITbs-p.FadeDepth || v > p.MaxITbs {
+				t.Fatalf("step %d outside profile: %d", i, v)
+			}
+		}
+	}
+}
+
+func TestGenerateVaries(t *testing.T) {
+	tr, err := Generate(Vehicular(), 2000, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range tr {
+		seen[v] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("vehicular trace too flat: %d distinct values", len(seen))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Pedestrian(), 100, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Pedestrian(), 100, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := Generate(Profile{MinITbs: 10, MaxITbs: 2}, 10, rng); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Generate(Profile{StepStdev: -1}, 10, rng); err == nil {
+		t.Error("negative stdev accepted")
+	}
+	if _, err := Generate(Profile{FadeProbability: 2}, 10, rng); err == nil {
+		t.Error("bad probability accepted")
+	}
+	if _, err := Generate(Pedestrian(), 0, rng); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestGenerateSet(t *testing.T) {
+	set, err := GenerateSet(Vehicular(), 4, 500, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("%d traces", len(set))
+	}
+	// Traces must be mutually distinct.
+	same := 0
+	for i := 0; i < 500; i++ {
+		if set[0][i] == set[1][i] {
+			same++
+		}
+	}
+	if same > 250 {
+		t.Fatalf("traces too correlated: %d/500 equal steps", same)
+	}
+	if _, err := GenerateSet(Vehicular(), 0, 10, sim.NewRNG(1)); err == nil {
+		t.Error("zero UEs accepted")
+	}
+}
