@@ -1,0 +1,29 @@
+# Build and verification entry points. `make check` is the CI gate:
+# static analysis plus the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race check results clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: build, vet, then race-enabled
+# tests (which subsume the plain test run).
+check: build vet race
+
+# results regenerates the quick-scale experiment outputs in results/.
+results:
+	$(GO) run ./cmd/flarebench -scale quick -out results
+
+clean:
+	$(GO) clean ./...

@@ -172,3 +172,4 @@ func BenchmarkGateApply(b *testing.B) {
 
 func BenchmarkExtCoexistence(b *testing.B)   { runExperiment(b, "ext-coexist") }
 func BenchmarkExtABRComparison(b *testing.B) { runExperiment(b, "ext-abr") }
+func BenchmarkExtFaults(b *testing.B)        { runExperiment(b, "ext-faults") }

@@ -8,19 +8,46 @@
 //	         [-videos 8] [-data 0] [-channel static|cyclic|mobility]
 //	         [-itbs 12] [-ladder sim|testbed|fine] [-seed 1]
 //	         [-alpha 1.0] [-delta 4] [-relax]
+//	         [-ctrl-loss 0.3] [-ctrl-blackout 60s-90s]
+//	         [-fallback-polls 3] [-fallback-age 4]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/flare-sim/flare/internal/abr"
 	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/metrics"
 )
+
+// parseWindows parses comma-separated "from-to" blackout windows, e.g.
+// "60s-90s,300s-330s".
+func parseWindows(s string) ([]faults.Window, error) {
+	var out []faults.Window
+	for _, part := range strings.Split(s, ",") {
+		from, to, ok := strings.Cut(strings.TrimSpace(part), "-")
+		if !ok {
+			return nil, fmt.Errorf("blackout %q: want \"from-to\" (e.g. 60s-90s)", part)
+		}
+		f, err := time.ParseDuration(from)
+		if err != nil {
+			return nil, fmt.Errorf("blackout %q: %w", part, err)
+		}
+		t, err := time.ParseDuration(to)
+		if err != nil {
+			return nil, fmt.Errorf("blackout %q: %w", part, err)
+		}
+		out = append(out, faults.Window{From: f, To: t})
+	}
+	return out, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -42,6 +69,12 @@ func run() int {
 		delta       = flag.Int("delta", 4, "FLARE stability parameter")
 		relax       = flag.Bool("relax", false, "use FLARE's continuous-relaxation solver")
 		vbr         = flag.Float64("vbr", 0, "VBR segment-size jitter (0 = CBR, e.g. 0.3)")
+
+		ctrlLoss     = flag.Float64("ctrl-loss", 0, "control-plane drop rate for stats reports and assignment polls (0..1)")
+		ctrlSeed     = flag.Uint64("ctrl-seed", 0xfa17, "fault injector seed (independent of -seed)")
+		ctrlBlackout = flag.String("ctrl-blackout", "", `control-plane blackout window, e.g. "60s-90s" (repeatable via comma: "60s-90s,300s-330s")`)
+		fbPolls      = flag.Int("fallback-polls", 0, "plugin fallback after K consecutive failed polls (0 = default 3)")
+		fbAge        = flag.Int("fallback-age", 0, "plugin fallback after an assignment M BAIs stale (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -79,6 +112,16 @@ func run() int {
 	cfg.Flare.Delta = *delta
 	cfg.Flare.UseRelaxation = *relax
 	cfg.VBRJitter = *vbr
+	cfg.ControlFaults = faults.Config{Seed: *ctrlSeed, DropRate: *ctrlLoss}
+	if *ctrlBlackout != "" {
+		windows, err := parseWindows(*ctrlBlackout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flaresim: %v\n", err)
+			return 2
+		}
+		cfg.ControlFaults.Blackouts = windows
+	}
+	cfg.Fallback = abr.FallbackConfig{AfterFailedPolls: *fbPolls, MaxAssignmentAgeBAIs: *fbAge}
 
 	switch *channelName {
 	case "static":
@@ -139,6 +182,16 @@ func run() int {
 		cdf := metrics.NewCDF(res.SolveTimesSec)
 		fmt.Printf("solver (n=%d):       median %.3f ms, max %.3f ms\n",
 			n, cdf.Quantile(0.5)*1000, cdf.Max()*1000)
+	}
+	if cp := res.ControlPlane; cp != (cellsim.ControlPlaneStats{}) || res.TotalFallbackTransitions() > 0 {
+		fmt.Printf("ctrl-plane faults:   %d reports lost, %d polls lost, %d enforce failures\n",
+			cp.ReportsLost, cp.PollsLost, cp.EnforceFailures)
+		var fbBAIs int
+		for _, c := range res.Clients {
+			fbBAIs += c.FallbackIntervals
+		}
+		fmt.Printf("plugin fallback:     %d mode transitions, %d degraded BAIs across clients\n",
+			res.TotalFallbackTransitions(), fbBAIs)
 	}
 	return 0
 }

@@ -3,9 +3,17 @@
 // Network APIs. eNodeBs POST statistics reports to it; FLARE plugins
 // register sessions and poll assignments.
 //
+// For resilience testing the whole API can be wrapped in the fault
+// injector: -fault-drop / -fault-fail answer a fraction of requests
+// with 503, -fault-delay holds them, and -fault-blackout takes the
+// server down for scheduled windows (e.g. "60s-90s" after start) —
+// exactly the conditions the hardened clients must ride out.
+//
 // Usage:
 //
 //	oneapiserver [-addr :8480] [-alpha 1.0] [-delta 4] [-bai 1s] [-relax]
+//	             [-fault-drop 0.2] [-fault-delay 0.1] [-fault-delay-by 2s]
+//	             [-fault-blackout 60s-90s] [-fault-seed 1]
 package main
 
 import (
@@ -13,9 +21,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/oneapi"
 )
 
@@ -30,6 +40,13 @@ func run() int {
 		delta = flag.Int("delta", 4, "Algorithm 1 stability parameter")
 		bai   = flag.Duration("bai", time.Second, "bitrate assignment interval")
 		relax = flag.Bool("relax", false, "use the continuous-relaxation solver")
+
+		faultDrop     = flag.Float64("fault-drop", 0, "fraction of requests answered 503 as if lost (0..1)")
+		faultFail     = flag.Float64("fault-fail", 0, "fraction of requests answered with an injected server error (0..1)")
+		faultDelay    = flag.Float64("fault-delay", 0, "fraction of requests held before handling (0..1)")
+		faultDelayBy  = flag.Duration("fault-delay-by", 2*time.Second, "hold time for delayed requests")
+		faultBlackout = flag.String("fault-blackout", "", `scheduled blackout windows relative to start, e.g. "60s-90s,300s-330s"`)
+		faultSeed     = flag.Uint64("fault-seed", 1, "fault injector seed")
 	)
 	flag.Parse()
 
@@ -40,11 +57,61 @@ func run() int {
 	cfg.UseRelaxation = *relax
 
 	server := oneapi.NewServer(cfg, nil)
+	handler := http.Handler(oneapi.Handler(server))
+
+	faultCfg := faults.Config{
+		Seed:     *faultSeed,
+		DropRate: *faultDrop,
+		FailRate: *faultFail,
+	}
+	if *faultDelay > 0 {
+		faultCfg.DelayRate = *faultDelay
+		faultCfg.DelayBy = *faultDelayBy
+	}
+	if *faultBlackout != "" {
+		windows, err := parseWindows(*faultBlackout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
+			return 2
+		}
+		faultCfg.Blackouts = windows
+	}
+	if err := faultCfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
+		return 2
+	}
+	if faultCfg.Enabled() {
+		handler = faults.Middleware(faults.New(faultCfg), handler)
+		fmt.Printf("oneapiserver: fault injection ON (drop=%.2f fail=%.2f delay=%.2f blackouts=%d)\n",
+			*faultDrop, *faultFail, *faultDelay, len(faultCfg.Blackouts))
+	}
+
 	fmt.Printf("oneapiserver: listening on %s (alpha=%.2f delta=%d bai=%v relax=%v)\n",
 		*addr, *alpha, *delta, *bai, *relax)
-	if err := http.ListenAndServe(*addr, oneapi.Handler(server)); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// parseWindows parses comma-separated "from-to" blackout windows.
+func parseWindows(s string) ([]faults.Window, error) {
+	var out []faults.Window
+	for _, part := range strings.Split(s, ",") {
+		from, to, ok := strings.Cut(strings.TrimSpace(part), "-")
+		if !ok {
+			return nil, fmt.Errorf("blackout %q: want \"from-to\" (e.g. 60s-90s)", part)
+		}
+		f, err := time.ParseDuration(from)
+		if err != nil {
+			return nil, fmt.Errorf("blackout %q: %w", part, err)
+		}
+		t, err := time.ParseDuration(to)
+		if err != nil {
+			return nil, fmt.Errorf("blackout %q: %w", part, err)
+		}
+		out = append(out, faults.Window{From: f, To: t})
+	}
+	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/flare-sim/flare/internal/abr"
 	"github.com/flare-sim/flare/internal/avis"
 	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/transport"
@@ -105,7 +106,20 @@ type Config struct {
 	// probability (control-plane failure injection: the OneAPI overlay
 	// rides a real network, and a lost report must only delay
 	// adaptation — installed GBRs and the last assignment persist).
+	// This legacy knob draws from the simulation's primary RNG; prefer
+	// ControlFaults, which owns independent streams.
 	StatsLossRate float64
+	// ControlFaults injects faults into the FLARE control plane: the
+	// eNodeB's statistics reports and the plugins' assignment polls
+	// each get an independent injector stream derived from
+	// ControlFaults.Seed, so a zero configuration leaves runs
+	// byte-identical to fault-free ones. Blackout windows take the
+	// whole plane down (reports and polls) for their duration.
+	ControlFaults faults.Config
+	// Fallback parameterises the FLARE plugins' graceful degradation
+	// (K failed polls / M-BAI-stale assignment → local ABR). The zero
+	// value uses abr.DefaultFallbackConfig.
+	Fallback abr.FallbackConfig
 	// LowBufferCapSeconds is the FLARE plugin's buffer-feedback
 	// threshold (Section II-B: "if the current amount of buffered video
 	// is relatively small ... the client can specify an upper bound on
@@ -200,6 +214,9 @@ func (c *Config) Validate() error {
 		if c.StatsLossRate != 0 {
 			return fmt.Errorf("cellsim: stats loss rate %v out of [0, 1)", c.StatsLossRate)
 		}
+	}
+	if err := c.ControlFaults.Validate(); err != nil {
+		return fmt.Errorf("cellsim: control faults: %w", err)
 	}
 	if len(c.VideoArrivals) > 0 && len(c.VideoArrivals) != c.NumVideo {
 		return fmt.Errorf("cellsim: %d arrivals for %d video clients", len(c.VideoArrivals), c.NumVideo)

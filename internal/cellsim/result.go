@@ -30,6 +30,27 @@ type ClientResult struct {
 	// QoEScore is the composite per-segment QoE (see internal/qoe) with
 	// default weights.
 	QoEScore float64
+	// FallbackTransitions counts the FLARE plugin's coordination-mode
+	// switches (degradations to local ABR plus recoveries); 0 for
+	// non-FLARE schemes and for fault-free runs.
+	FallbackTransitions int
+	// FallbackIntervals counts control-plane intervals (BAIs) the
+	// plugin spent degraded to its local ABR.
+	FallbackIntervals int
+}
+
+// ControlPlaneStats aggregates control-plane fault activity over a run
+// (FLARE only; all zero for fault-free runs).
+type ControlPlaneStats struct {
+	// ReportsLost counts eNodeB statistics reports lost upstream
+	// (no BAI ran that interval).
+	ReportsLost int
+	// PollsLost counts plugin assignment polls lost downstream.
+	PollsLost int
+	// EnforceFailures counts per-flow GBR installs that failed at the
+	// PCEF during otherwise-successful BAIs (the flows kept their
+	// previous assignments).
+	EnforceFailures int
 }
 
 // DataResult is one data flow's outcome.
@@ -54,6 +75,8 @@ type Result struct {
 	// SolveTimesSec are the FLARE optimiser wall times per BAI
 	// (empty for the other schemes) — the Figure 9 measurement.
 	SolveTimesSec []float64
+	// ControlPlane summarises injected control-plane fault activity.
+	ControlPlane ControlPlaneStats
 
 	// Per-flow time series, populated when Config.CollectSeries is set:
 	// selected video rate (bps), playout buffer (s), and data flow
@@ -126,4 +149,23 @@ func (r *Result) JainOfTputs() float64 {
 // JainOfRates returns Jain's fairness index over the average video rates.
 func (r *Result) JainOfRates() float64 {
 	return metrics.JainIndex(r.AvgRates())
+}
+
+// MeanQoE returns the across-client mean QoE score.
+func (r *Result) MeanQoE() float64 {
+	scores := make([]float64, len(r.Clients))
+	for i, c := range r.Clients {
+		scores[i] = c.QoEScore
+	}
+	return metrics.Mean(scores)
+}
+
+// TotalFallbackTransitions sums coordination-mode switches across
+// clients.
+func (r *Result) TotalFallbackTransitions() int {
+	var n int
+	for _, c := range r.Clients {
+		n += c.FallbackTransitions
+	}
+	return n
 }

@@ -1,12 +1,14 @@
 package cellsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/flare-sim/flare/internal/abr"
 	"github.com/flare-sim/flare/internal/avis"
 	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/metrics"
@@ -54,6 +56,13 @@ type Sim struct {
 	oneAPI    *oneapi.Server  // FLARE only
 	cellID    int             // this cell's ID at the OneAPI server
 	allocator *avis.Allocator // AVIS only
+
+	// control-plane fault injection (FLARE only, nil when disabled):
+	// independent decision streams for the eNodeB's stats reports and
+	// the plugins' assignment polls.
+	statsFaults *faults.Injector
+	pollFaults  *faults.Injector
+	ctrl        ControlPlaneStats
 
 	// buffer-feedback state: the active per-flow cap in bps (0 = none).
 	bufferCaps []float64
@@ -183,7 +192,7 @@ func (s *Sim) buildVideo() error {
 func (s *Sim) buildAdapter() (has.Adapter, *abr.FlarePlugin) {
 	switch s.cfg.Scheme {
 	case SchemeFLARE:
-		p := abr.NewFlarePlugin()
+		p := abr.NewFlarePluginWithFallback(s.cfg.Fallback)
 		return p, p
 	case SchemeFESTIVE:
 		return abr.NewFestive(s.cfg.Festive, s.rng), nil
@@ -256,6 +265,14 @@ func (s *Sim) buildControlPlane() error {
 	case SchemeFLARE:
 		if s.oneAPI == nil {
 			s.oneAPI = oneapi.NewServer(s.cfg.Flare, nil)
+		}
+		if s.cfg.ControlFaults.Enabled() {
+			// Independent streams so report fate never perturbs poll
+			// fate; both derive deterministically from the fault seed.
+			statsCfg, pollCfg := s.cfg.ControlFaults, s.cfg.ControlFaults
+			pollCfg.Seed = statsCfg.Seed ^ 0x9e3779b97f4a7c15
+			s.statsFaults = faults.New(statsCfg)
+			s.pollFaults = faults.New(pollCfg)
 		}
 		for i, b := range s.videoBearers {
 			req := oneapi.SessionRequest{FlowID: b.ID, LadderBps: s.players[i].MPD().Ladder()}
@@ -346,20 +363,65 @@ func (s *Sim) sendBufferFeedback() {
 	}
 }
 
-func (s *Sim) runFlareBAI() error {
-	s.sendBufferFeedback()
-	report := oneapi.StatsReport{Flows: s.collectStats(), NumDataFlows: -1}
-	pcef := oneapi.PCEFFunc(func(flowID int, gbr float64) error {
-		return s.enb.SetGBR(flowID, gbr)
-	})
-	assignments, err := s.oneAPI.RunBAI(s.cellID, report, pcef)
-	if err != nil {
-		return err
+// flareControlTick models one control-plane interval end to end: the
+// eNodeB's statistics report upstream (which triggers the BAI) and each
+// plugin's assignment poll downstream. Either leg can be lost to the
+// fault injectors; a lost report means the eNodeB keeps its GBRs and
+// the window accounting accumulates into the next report, while lost
+// polls feed the plugins' fallback detectors. With no faults configured
+// the behaviour — and the RNG stream — is identical to the original
+// direct-push path.
+func (s *Sim) flareControlTick(now time.Duration) error {
+	reportLost := false
+	// Legacy knob first (draws from the primary RNG, preserving
+	// pre-fault-injector determinism for configs that use it)...
+	if s.cfg.StatsLossRate > 0 && s.rng.Float64() < s.cfg.StatsLossRate {
+		reportLost = true
 	}
-	for _, a := range assignments {
-		if a.FlowID >= 0 && a.FlowID < len(s.plugins) && s.plugins[a.FlowID] != nil {
-			s.plugins[a.FlowID].SetAssignedBps(a.RateBps)
+	// ...then the dedicated injector stream.
+	if !reportLost && s.statsFaults != nil && s.statsFaults.Decide(now).Lost() {
+		reportLost = true
+	}
+
+	if reportLost {
+		s.ctrl.ReportsLost++
+	} else {
+		s.sendBufferFeedback()
+		report := oneapi.StatsReport{Flows: s.collectStats(), NumDataFlows: -1}
+		pcef := oneapi.PCEFFunc(func(flowID int, gbr float64) error {
+			return s.enb.SetGBR(flowID, gbr)
+		})
+		_, err := s.oneAPI.RunBAI(s.cellID, report, pcef)
+		var enforceErr *oneapi.EnforceError
+		if errors.As(err, &enforceErr) {
+			// Partial enforcement is degraded, not fatal: the failed
+			// flows keep their previous GBR and assignment, and their
+			// plugins will see the assignment age until they degrade.
+			s.ctrl.EnforceFailures += len(enforceErr.Failed)
+		} else if err != nil {
+			return err
 		}
+	}
+
+	// Downstream: each live plugin polls its assignment. The server
+	// answers from its current table whether or not this interval's
+	// BAI ran; a dropped poll feeds the fallback detector instead.
+	for i, plugin := range s.plugins {
+		if plugin == nil || s.players[i].Done() {
+			continue
+		}
+		if s.pollFaults != nil && s.pollFaults.Decide(now).Lost() {
+			s.ctrl.PollsLost++
+			plugin.PollFailed()
+			continue
+		}
+		a, ok := s.oneAPI.Assignment(s.cellID, s.videoBearers[i].ID)
+		if !ok {
+			// No BAI has covered the flow yet (or its session closed):
+			// nothing to deliver, nothing failed.
+			continue
+		}
+		plugin.Deliver(a.RateBps, a.BAISeq)
 	}
 	return nil
 }
@@ -472,11 +534,7 @@ func (s *Sim) Run() (*Result, error) {
 		s.enb.RunTTI(tti)
 
 		if baiTTIs > 0 && tti > 0 && tti%baiTTIs == 0 {
-			if s.cfg.StatsLossRate > 0 && s.rng.Float64() < s.cfg.StatsLossRate {
-				// The report was lost in the overlay: the eNodeB keeps
-				// its GBRs and the plugins their last assignments; the
-				// window accounting accumulates into the next report.
-			} else if err := s.runFlareBAI(); err != nil {
+			if err := s.flareControlTick(time.Duration(tti) * sim.TTI); err != nil {
 				return nil, err
 			}
 		}
@@ -498,7 +556,7 @@ func (s *Sim) buildResult() *Result {
 	res := &Result{Scheme: s.cfg.Scheme}
 	for i, p := range s.players {
 		rates := p.SelectedRates()
-		res.Clients = append(res.Clients, ClientResult{
+		cr := ClientResult{
 			FlowID:              s.videoBearers[i].ID,
 			AvgRateBps:          metrics.Mean(rates),
 			AvgTputBps:          float64(s.videoFlows[i].DeliveredTotal()) * 8 / durSec,
@@ -508,7 +566,12 @@ func (s *Sim) buildResult() *Result {
 			StallCount:          p.StallCount(),
 			StartupDelaySeconds: p.StartupDelaySeconds(),
 			QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
-		})
+		}
+		if i < len(s.plugins) && s.plugins[i] != nil {
+			cr.FallbackTransitions = s.plugins[i].Transitions()
+			cr.FallbackIntervals = s.plugins[i].FallbackIntervals()
+		}
+		res.Clients = append(res.Clients, cr)
 	}
 	for i, f := range s.dataFlows {
 		res.Data = append(res.Data, DataResult{
@@ -533,6 +596,7 @@ func (s *Sim) buildResult() *Result {
 	if s.oneAPI != nil {
 		res.SolveTimesSec = s.oneAPI.SolveTimes(s.cellID)
 	}
+	res.ControlPlane = s.ctrl
 	res.VideoRateSeries = s.rateSeries
 	res.BufferSeries = s.bufSeries
 	res.DataTputSeries = s.dataSeries

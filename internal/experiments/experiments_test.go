@@ -14,7 +14,8 @@ func tinyScale() Scale { return Scale{DurationFactor: 0.025, Runs: 1} }
 
 func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-coexist", "ext-abr"}
+		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-coexist", "ext-abr",
+		"ext-faults"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -187,7 +188,7 @@ func TestRunManyDeterministicSeeds(t *testing.T) {
 }
 
 func TestExtensionExperimentsSmoke(t *testing.T) {
-	for _, id := range []string{"ext-coexist", "ext-abr"} {
+	for _, id := range []string{"ext-coexist", "ext-abr", "ext-faults"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)
@@ -199,6 +200,39 @@ func TestExtensionExperimentsSmoke(t *testing.T) {
 		if len(rep.Tables) == 0 || len(rep.Series) == 0 {
 			t.Fatalf("%s produced no output", id)
 		}
+	}
+}
+
+// TestExtFaultsNeverBelowBaseline is the acceptance gate for the
+// fault-tolerance story: under every swept control-plane loss rate the
+// degraded FLARE must hold a mean QoE at or above the pure client-side
+// baseline (a degraded plugin *is* a client-side player). RunExtFaults
+// emits a WARNING note whenever a sweep point violates that.
+func TestExtFaultsNeverBelowBaseline(t *testing.T) {
+	rep, err := RunExtFaults(Scale{DurationFactor: 0.05, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("degradation floor violated: %s", n)
+		}
+	}
+	var qoeSeries, fbSeries bool
+	for _, s := range rep.Series {
+		switch s.Name {
+		case "flare/qoe_vs_ctrl_loss":
+			qoeSeries = len(s.Points) == len(extFaultsLossRates)
+		case "flare/fallback_bais_vs_ctrl_loss":
+			fbSeries = len(s.Points) > 0
+			// Heavier loss must produce at least as much fallback.
+			if last := s.Points[len(s.Points)-1]; last.Y == 0 {
+				t.Error("50% control loss produced zero fallback intervals")
+			}
+		}
+	}
+	if !qoeSeries || !fbSeries {
+		t.Fatalf("sweep series missing or short: %+v", rep.Series)
 	}
 }
 

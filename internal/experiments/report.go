@@ -131,6 +131,7 @@ func All() []Experiment {
 		{ID: "fig12", Title: "Figure 12 — delta sweep of bitrate and stability", Run: RunFig12},
 		{ID: "ext-coexist", Title: "Extension — coexistence with conventional players (Section V)", Run: RunExtCoexist},
 		{ID: "ext-abr", Title: "Extension — FLARE vs BBA/MPC and the paper's client baselines", Run: RunExtABR},
+		{ID: "ext-faults", Title: "Extension — graceful degradation under control-plane faults", Run: RunExtFaults},
 	}
 }
 

@@ -1,0 +1,112 @@
+package oneapi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors the server and client surface for control-plane
+// failure handling. Wrap-aware callers use errors.Is/As.
+var (
+	// ErrStaleReport rejects a statistics report whose sequence number
+	// is not newer than the last accepted one for the cell — a delayed
+	// or duplicated report must not rewind the BAI state.
+	ErrStaleReport = errors.New("oneapi: stale or out-of-order stats report")
+
+	// ErrUnknownSession marks a flow the server has no session for —
+	// after a server restart this is the client's signal to re-open.
+	ErrUnknownSession = errors.New("oneapi: unknown session")
+
+	// ErrUnknownCell marks a cell the server has never seen.
+	ErrUnknownCell = errors.New("oneapi: unknown cell")
+
+	// ErrNoAssignment marks a live session that no BAI has assigned
+	// yet; distinct from ErrUnknownSession so clients do not re-open
+	// needlessly.
+	ErrNoAssignment = errors.New("oneapi: no assignment yet")
+
+	// ErrSessionConflict rejects an open for a flow ID that is already
+	// registered with a *different* ladder; re-opening with identical
+	// parameters is idempotent and succeeds.
+	ErrSessionConflict = errors.New("oneapi: session exists with different parameters")
+)
+
+// Machine-readable error codes carried in the HTTP binding's
+// ErrorResponse.Code, so clients can react without string matching.
+const (
+	CodeStaleReport    = "stale_report"
+	CodeUnknownSession = "unknown_session"
+	CodeUnknownCell    = "unknown_cell"
+	CodeNoAssignment   = "no_assignment"
+	CodeConflict       = "conflict"
+	CodeBadRequest     = "bad_request"
+	CodeInternal       = "internal"
+)
+
+// codeFor maps a server error to its wire code.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, ErrStaleReport):
+		return CodeStaleReport
+	case errors.Is(err, ErrUnknownSession):
+		return CodeUnknownSession
+	case errors.Is(err, ErrUnknownCell):
+		return CodeUnknownCell
+	case errors.Is(err, ErrNoAssignment):
+		return CodeNoAssignment
+	case errors.Is(err, ErrSessionConflict):
+		return CodeConflict
+	default:
+		return CodeInternal
+	}
+}
+
+// errorForCode maps a wire code back to the sentinel, so HTTP clients
+// get the same errors.Is behaviour as in-process callers.
+func errorForCode(code string) error {
+	switch code {
+	case CodeStaleReport:
+		return ErrStaleReport
+	case CodeUnknownSession:
+		return ErrUnknownSession
+	case CodeUnknownCell:
+		return ErrUnknownCell
+	case CodeNoAssignment:
+		return ErrNoAssignment
+	case CodeConflict:
+		return ErrSessionConflict
+	default:
+		return nil
+	}
+}
+
+// EnforcementFailure records one flow whose GBR install failed during a
+// BAI; the flow keeps its previous assignment and GBR.
+type EnforcementFailure struct {
+	FlowID int    `json:"flow_id"`
+	Reason string `json:"reason"`
+}
+
+// EnforceError reports a partially enforced BAI: the optimisation ran
+// and every *other* flow's assignment was installed, but the listed
+// flows' PCEF installs failed and their previous assignments were kept.
+// It is returned alongside the committed assignments so callers can
+// treat partial enforcement as degraded, not fatal.
+type EnforceError struct {
+	// BAISeq is the sequence number of the partially enforced BAI.
+	BAISeq int64
+	// Failed lists the flows left on their previous assignment.
+	Failed []EnforcementFailure
+}
+
+// Error implements error.
+func (e *EnforceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oneapi: BAI %d partially enforced (%d flow(s) kept previous GBR):",
+		e.BAISeq, len(e.Failed))
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, " flow %d: %s;", f.FlowID, f.Reason)
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}

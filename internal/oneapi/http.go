@@ -2,6 +2,7 @@ package oneapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -34,11 +35,18 @@ func Handler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode session request: %w", err))
 			return
 		}
-		if err := s.OpenSession(cellID, req); err != nil {
+		created, err := s.Open(cellID, req)
+		switch {
+		case errors.Is(err, ErrSessionConflict):
 			writeErr(w, http.StatusConflict, err)
-			return
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, err)
+		case created:
+			w.WriteHeader(http.StatusCreated)
+		default:
+			// Idempotent re-open (client retry / restart): 200, not 409.
+			w.WriteHeader(http.StatusOK)
 		}
-		w.WriteHeader(http.StatusCreated)
 	})
 
 	mux.HandleFunc("PUT /oneapi/v4/cells/{cell}/sessions/{flow}/preferences", func(w http.ResponseWriter, r *http.Request) {
@@ -82,12 +90,20 @@ func Handler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode stats report: %w", err))
 			return
 		}
-		assignments, err := s.RunBAI(cellID, report, nil)
-		if err != nil {
+		resp, err := s.RunBAIReport(cellID, report, nil)
+		var enforceErr *EnforceError
+		switch {
+		case errors.Is(err, ErrStaleReport):
+			writeErr(w, http.StatusConflict, err)
+			return
+		case errors.As(err, &enforceErr):
+			// Partial enforcement: the BAI ran; the response carries
+			// both the committed assignments and the failures.
+		case err != nil:
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, StatsResponse{Assignments: assignments})
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /oneapi/v4/cells/{cell}/assignments/{flow}", func(w http.ResponseWriter, r *http.Request) {
@@ -97,9 +113,12 @@ func Handler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad path"))
 			return
 		}
-		a, ok := s.Assignment(cellID, flowID)
-		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("no assignment for flow %d yet", flowID))
+		a, err := s.AssignmentErr(cellID, flowID)
+		if err != nil {
+			// 404 either way, but the code disambiguates "no BAI yet"
+			// (keep polling) from "no such session" (re-open): after a
+			// server restart the second tells clients to recover.
+			writeErr(w, http.StatusNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, a)
@@ -125,5 +144,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	code := codeFor(err)
+	if status == http.StatusBadRequest && code == CodeInternal {
+		code = CodeBadRequest
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }

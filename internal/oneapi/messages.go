@@ -27,25 +27,51 @@ type SessionRequest struct {
 type StatsReport struct {
 	Flows        map[int]core.FlowStats `json:"flows"`
 	NumDataFlows int                    `json:"num_data_flows"`
+	// Seq, when positive, orders reports from one eNodeB: the server
+	// rejects a report whose Seq is not greater than the last accepted
+	// one (ErrStaleReport), so a delayed or duplicated report — e.g. a
+	// retransmission after a control-plane timeout — cannot rewind the
+	// BAI state. Zero means unsequenced (always accepted, the
+	// pre-fault-tolerance wire format).
+	Seq int64 `json:"seq,omitempty"`
 }
 
 // StatsResponse carries the enforcement decisions back to the eNodeB:
 // the GBR to install per video bearer (the PCEF pathway piggybacked on
-// the report exchange).
+// the report exchange), the BAI sequence the decisions came from, and —
+// when the server enforces through its own PCEF — the flows whose GBR
+// install failed and kept their previous assignment.
 type StatsResponse struct {
-	Assignments []core.Assignment `json:"assignments"`
+	Assignments []core.Assignment    `json:"assignments"`
+	BAISeq      int64                `json:"bai_seq,omitempty"`
+	Failed      []EnforcementFailure `json:"failed,omitempty"`
 }
 
 // AssignmentResponse is what a polling plugin receives: its current
-// bitrate assignment and the BAI sequence number it was computed in.
+// bitrate assignment, the BAI sequence number it was installed in, and
+// the cell's current BAI sequence. A widening CellSeq-BAISeq gap means
+// the flow's assignment is going stale (e.g. its PCEF installs keep
+// failing) even though the control plane is reachable.
 type AssignmentResponse struct {
 	FlowID  int     `json:"flow_id"`
 	RateBps float64 `json:"rate_bps"`
 	Level   int     `json:"level"`
 	BAISeq  int64   `json:"bai_seq"`
+	CellSeq int64   `json:"cell_seq,omitempty"`
 }
 
-// ErrorResponse is the JSON error envelope of the HTTP binding.
+// AgeBAIs is how many BAIs have run in the cell since this assignment
+// was installed (0 = fresh).
+func (a AssignmentResponse) AgeBAIs() int64 {
+	if a.CellSeq <= a.BAISeq {
+		return 0
+	}
+	return a.CellSeq - a.BAISeq
+}
+
+// ErrorResponse is the JSON error envelope of the HTTP binding. Code is
+// machine-readable (see the Code* constants); Error is human-readable.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

@@ -1,6 +1,7 @@
 package oneapi
 
 import (
+	"errors"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -63,8 +64,15 @@ func TestServerSessionLifecycle(t *testing.T) {
 	if err := s.OpenSession(0, req); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.OpenSession(0, req); err == nil {
-		t.Fatal("duplicate session accepted")
+	// Re-opening the same flow with the same ladder is idempotent: a
+	// client retry/restart must not conflict with its own session.
+	if err := s.OpenSession(0, req); err != nil {
+		t.Fatalf("idempotent re-open rejected: %v", err)
+	}
+	// Re-opening with a *different* ladder is a real conflict.
+	other := SessionRequest{FlowID: 1, LadderBps: []float64{100_000, 900_000}}
+	if err := s.OpenSession(0, other); !errors.Is(err, ErrSessionConflict) {
+		t.Fatalf("conflicting re-open: err = %v", err)
 	}
 	// Same flow ID in a different cell is a separate controller.
 	if err := s.OpenSession(1, req); err != nil {
@@ -193,9 +201,14 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if err := plugin.Open(has.SimLadder(), core.Preferences{}); err != nil {
 		t.Fatal(err)
 	}
-	// Duplicate open conflicts.
-	if err := plugin.Open(has.SimLadder(), core.Preferences{}); err == nil {
-		t.Fatal("duplicate open succeeded")
+	// Duplicate open with the same ladder is idempotent (200 OK).
+	if err := plugin.Open(has.SimLadder(), core.Preferences{}); err != nil {
+		t.Fatalf("idempotent re-open over HTTP rejected: %v", err)
+	}
+	// A different ladder conflicts (409) and maps back to the sentinel.
+	conflicting := NewClient(ts.URL, 0, 3, ts.Client())
+	if err := conflicting.Open(has.Ladder{100_000, 900_000}, core.Preferences{}); !errors.Is(err, ErrSessionConflict) {
+		t.Fatalf("conflicting open: err = %v", err)
 	}
 	// No assignment before the first BAI.
 	if _, ok, err := plugin.Poll(); err != nil || ok {

@@ -26,6 +26,14 @@ type cellState struct {
 	controller *core.Controller
 	baiSeq     int64
 	current    map[int]core.Assignment
+	// installSeq records, per flow, the BAI sequence at which the
+	// flow's current assignment was successfully installed; it lags
+	// baiSeq for flows whose PCEF installs failed, which is how
+	// polling plugins detect their own staleness.
+	installSeq map[int]int64
+	// lastReportSeq is the highest accepted StatsReport.Seq (0 before
+	// the first sequenced report).
+	lastReportSeq int64
 }
 
 // Server is the OneAPI server: one FLARE controller per managed cell
@@ -38,6 +46,11 @@ type Server struct {
 
 	mu    sync.Mutex
 	cells map[int]*cellState
+	// pcef is the server-side enforcement hook, used by BAIs whose
+	// caller passes no PCEF — notably the HTTP stats endpoint, where the
+	// PCEF lives next to the server rather than the eNodeB. Nil means
+	// enforcement is the response consumer's job (the wire contract).
+	pcef PCEF
 }
 
 // NewServer builds a OneAPI server that creates controllers with cfg.
@@ -51,27 +64,74 @@ func NewServer(cfg core.Config, pcrf *PCRF) *Server {
 // PCRF exposes the server's flow registry.
 func (s *Server) PCRF() *PCRF { return s.pcrf }
 
+// SetPCEF installs the server-side enforcement hook: BAIs triggered
+// with a nil PCEF (e.g. over HTTP) install GBRs through it. Failures
+// are collected per flow, never aborting the BAI (see RunBAIReport).
+func (s *Server) SetPCEF(p PCEF) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pcef = p
+}
+
 func (s *Server) cell(cellID int) *cellState {
 	c, ok := s.cells[cellID]
 	if !ok {
 		c = &cellState{
 			controller: core.NewController(s.cfg),
 			current:    make(map[int]core.Assignment),
+			installSeq: make(map[int]int64),
 		}
 		s.cells[cellID] = c
 	}
 	return c
 }
 
-// OpenSession registers a video flow in a cell.
+// OpenSession registers a video flow in a cell. Re-registering an
+// already-open flow with the same ladder is idempotent and succeeds —
+// a client retrying after a control-plane timeout, or re-opening after
+// its own restart, must not be rejected. Re-registering with a
+// different ladder returns ErrSessionConflict.
 func (s *Server) OpenSession(cellID int, req SessionRequest) error {
+	_, err := s.Open(cellID, req)
+	return err
+}
+
+// Open is OpenSession with an extra created flag: true when the call
+// registered a new session, false when it matched an existing one
+// idempotently (the HTTP binding maps these to 201 vs 200).
+func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) {
 	ladder := has.Ladder(req.LadderBps)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.cell(cellID).controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
-		return fmt.Errorf("oneapi: open session: %w", err)
+	c := s.cell(cellID)
+	if snap, snapErr := c.controller.Snapshot(req.FlowID); snapErr == nil {
+		// The flow is already registered: idempotent when the ladder
+		// matches (preferences are simply refreshed), conflict when it
+		// does not.
+		if !sameLadder(snap.Ladder, ladder) {
+			return false, fmt.Errorf("oneapi: open session flow %d: %w", req.FlowID, ErrSessionConflict)
+		}
+		if err := c.controller.SetPreferences(req.FlowID, req.Preferences); err != nil {
+			return false, fmt.Errorf("oneapi: open session: %w", err)
+		}
+		return false, nil
 	}
-	return nil
+	if err := c.controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
+		return false, fmt.Errorf("oneapi: open session: %w", err)
+	}
+	return true, nil
+}
+
+func sameLadder(a, b has.Ladder) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CloseSession removes a video flow.
@@ -81,6 +141,7 @@ func (s *Server) CloseSession(cellID, flowID int) {
 	if c, ok := s.cells[cellID]; ok {
 		c.controller.Unregister(flowID)
 		delete(c.current, flowID)
+		delete(c.installSeq, flowID)
 	}
 }
 
@@ -106,6 +167,7 @@ func (s *Server) Handover(fromCell, toCell, flowID int) error {
 	}
 	from.controller.Unregister(flowID)
 	delete(from.current, flowID)
+	delete(from.installSeq, flowID)
 	return nil
 }
 
@@ -122,51 +184,105 @@ func (s *Server) SetPreferences(cellID, flowID int, prefs core.Preferences) erro
 
 // RunBAI consumes one statistics report for a cell, runs the bitrate
 // optimisation, installs GBRs through the PCEF (when non-nil), and
-// returns the assignments. A report's NumDataFlows of -1 defers to the
-// PCRF registry.
+// returns the committed assignments. A report's NumDataFlows of -1
+// defers to the PCRF registry.
+//
+// Enforcement is crash-safe and per-flow atomic: a SetGBR failure for
+// one flow no longer abandons the remaining flows mid-loop. Every flow
+// is attempted; flows whose install fails keep their previous
+// assignment (and previous install sequence), and the failures are
+// reported collectively via a *EnforceError returned alongside the
+// successfully committed assignments — callers decide whether partial
+// enforcement is fatal.
 func (s *Server) RunBAI(cellID int, report StatsReport, pcef PCEF) ([]core.Assignment, error) {
+	resp, err := s.RunBAIReport(cellID, report, pcef)
+	return resp.Assignments, err
+}
+
+// RunBAIReport is RunBAI returning the full wire-shaped outcome: the
+// committed assignments, the BAI sequence they belong to, and any
+// per-flow enforcement failures. err is *EnforceError (with resp still
+// valid) on partial enforcement, ErrStaleReport for an out-of-order
+// sequenced report, or another error when the optimisation itself
+// failed (in which case no state changed).
+func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsResponse, error) {
 	nData := report.NumDataFlows
 	if nData < 0 {
 		nData = s.pcrf.NumDataFlows(cellID)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if pcef == nil {
+		pcef = s.pcef // server-side hook (may still be nil)
+	}
 	c := s.cell(cellID)
+	if report.Seq > 0 && report.Seq <= c.lastReportSeq {
+		return StatsResponse{}, fmt.Errorf("oneapi: cell %d: report seq %d <= last accepted %d: %w",
+			cellID, report.Seq, c.lastReportSeq, ErrStaleReport)
+	}
 	assignments, err := c.controller.RunBAI(report.Flows, nData)
 	if err != nil {
-		return nil, fmt.Errorf("oneapi: cell %d: %w", cellID, err)
+		return StatsResponse{}, fmt.Errorf("oneapi: cell %d: %w", cellID, err)
+	}
+	if report.Seq > 0 {
+		c.lastReportSeq = report.Seq
 	}
 	c.baiSeq++
+	committed := make([]core.Assignment, 0, len(assignments))
+	var failed []EnforcementFailure
 	for _, a := range assignments {
-		c.current[a.FlowID] = a
 		if pcef != nil {
 			if err := pcef.SetGBR(a.FlowID, a.RateBps); err != nil {
-				return nil, fmt.Errorf("oneapi: enforce GBR for flow %d: %w", a.FlowID, err)
+				// All-installed-or-previous-kept per flow: the flow's
+				// previous assignment and install sequence survive, so
+				// polling plugins see its age grow.
+				failed = append(failed, EnforcementFailure{FlowID: a.FlowID, Reason: err.Error()})
+				continue
 			}
 		}
+		c.current[a.FlowID] = a
+		c.installSeq[a.FlowID] = c.baiSeq
+		committed = append(committed, a)
 	}
-	return assignments, nil
+	resp := StatsResponse{Assignments: committed, BAISeq: c.baiSeq, Failed: failed}
+	if len(failed) > 0 {
+		return resp, &EnforceError{BAISeq: c.baiSeq, Failed: failed}
+	}
+	return resp, nil
 }
 
 // Assignment returns a flow's most recent assignment, for polling
 // plugins. ok is false before the flow's first BAI.
 func (s *Server) Assignment(cellID, flowID int) (AssignmentResponse, bool) {
+	a, err := s.AssignmentErr(cellID, flowID)
+	return a, err == nil
+}
+
+// AssignmentErr is Assignment with typed failure modes: ErrUnknownCell,
+// ErrUnknownSession (the flow has no live session — after a server
+// restart this tells the client to re-open), or ErrNoAssignment (the
+// session is live but no BAI has assigned it yet).
+func (s *Server) AssignmentErr(cellID, flowID int) (AssignmentResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.cells[cellID]
 	if !ok {
-		return AssignmentResponse{}, false
+		return AssignmentResponse{}, fmt.Errorf("oneapi: cell %d: %w", cellID, ErrUnknownCell)
 	}
 	a, ok := c.current[flowID]
 	if !ok {
-		return AssignmentResponse{}, false
+		if _, err := c.controller.Snapshot(flowID); err != nil {
+			return AssignmentResponse{}, fmt.Errorf("oneapi: cell %d flow %d: %w", cellID, flowID, ErrUnknownSession)
+		}
+		return AssignmentResponse{}, fmt.Errorf("oneapi: cell %d flow %d: %w", cellID, flowID, ErrNoAssignment)
 	}
 	return AssignmentResponse{
 		FlowID:  a.FlowID,
 		RateBps: a.RateBps,
 		Level:   a.Level,
-		BAISeq:  c.baiSeq,
-	}, true
+		BAISeq:  c.installSeq[flowID],
+		CellSeq: c.baiSeq,
+	}, nil
 }
 
 // SolveTimes returns the per-BAI optimiser wall times for a cell.
