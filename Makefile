@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check results clean
+.PHONY: build test vet race check results bench-quick clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ race:
 # check is the full verification gate: build, vet, then race-enabled
 # tests (which subsume the plain test run).
 check: build vet race
+
+# bench-quick runs every benchmark exactly once — a smoke pass proving
+# the bench harness builds and executes, not a timing measurement.
+bench-quick:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # results regenerates the quick-scale experiment outputs in results/.
 results:

@@ -160,6 +160,57 @@ func BenchmarkCellSimFLARE(b *testing.B)   { benchCell(b, cellsim.SchemeFLARE) }
 func BenchmarkCellSimFESTIVE(b *testing.B) { benchCell(b, cellsim.SchemeFESTIVE) }
 func BenchmarkCellSimAVIS(b *testing.B)    { benchCell(b, cellsim.SchemeAVIS) }
 
+// BenchmarkEngineTick measures the engine's raw TTI loop through the
+// driver seam: a 16-flow FLARE cell over one simulated minute (60 000
+// TTIs plus control intervals per iteration). This is the hot path the
+// scheme-driver refactor must not tax — compare against
+// BenchmarkCellSimFLARE history when touching the engine or driver
+// interfaces.
+func BenchmarkEngineTick(b *testing.B) {
+	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	cfg.Duration = 60 * time.Second
+	cfg.NumVideo = 16
+	cfg.NumData = 4
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Flare.BAI = 1 * time.Second
+	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := cellsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(60/float64(b.Elapsed().Seconds()/float64(b.N)), "simsec/sec")
+}
+
+// BenchmarkMixedCell measures the mixed-scheme path: two driver groups
+// (FLARE + FESTIVE) sharing one cell, exercising per-group control
+// ticks, the two-phase scheduler, and per-scheme result attribution.
+func BenchmarkMixedCell(b *testing.B) {
+	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	cfg.Duration = 60 * time.Second
+	cfg.NumVideo = 0
+	cfg.VideoGroups = []cellsim.FlowGroup{
+		{Scheme: cellsim.SchemeFLARE, Count: 4},
+		{Scheme: cellsim.SchemeFESTIVE, Count: 4},
+	}
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := cellsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ClientsByScheme(cellsim.SchemeFLARE)) != 4 ||
+			len(res.ClientsByScheme(cellsim.SchemeFESTIVE)) != 4 {
+			b.Fatal("mixed cell lost a group")
+		}
+	}
+}
+
 // --- Ablation: Algorithm 1's streak gate on vs off (delta 4 vs 0),
 // reported via the gate's direct cost.
 

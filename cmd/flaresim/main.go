@@ -8,14 +8,21 @@
 //	         [-videos 8] [-data 0] [-channel static|cyclic|mobility]
 //	         [-itbs 12] [-ladder sim|testbed|fine] [-seed 1]
 //	         [-alpha 1.0] [-delta 4] [-relax]
+//	         [-mix "flare:4,festive:4"]
 //	         [-ctrl-loss 0.3] [-ctrl-blackout 60s-90s]
 //	         [-fallback-polls 3] [-fallback-age 4]
+//
+// -mix runs a mixed-scheme cell: a comma-separated list of
+// scheme:count groups that overrides -scheme/-videos for the video
+// population (each group gets its own driver; results are attributed
+// per scheme).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -69,6 +76,7 @@ func run() int {
 		delta       = flag.Int("delta", 4, "FLARE stability parameter")
 		relax       = flag.Bool("relax", false, "use FLARE's continuous-relaxation solver")
 		vbr         = flag.Float64("vbr", 0, "VBR segment-size jitter (0 = CBR, e.g. 0.3)")
+		mix         = flag.String("mix", "", `mixed-scheme cell as "scheme:count,scheme:count" (e.g. "flare:4,festive:4"); overrides -scheme/-videos`)
 
 		ctrlLoss     = flag.Float64("ctrl-loss", 0, "control-plane drop rate for stats reports and assignment polls (0..1)")
 		ctrlSeed     = flag.Uint64("ctrl-seed", 0xfa17, "fault injector seed (independent of -seed)")
@@ -78,17 +86,45 @@ func run() int {
 	)
 	flag.Parse()
 
-	scheme, ok := map[string]cellsim.Scheme{
+	schemes := map[string]cellsim.Scheme{
 		"flare":   cellsim.SchemeFLARE,
 		"festive": cellsim.SchemeFESTIVE,
 		"google":  cellsim.SchemeGOOGLE,
 		"avis":    cellsim.SchemeAVIS,
 		"bba":     cellsim.SchemeBBA,
 		"mpc":     cellsim.SchemeMPC,
-	}[*schemeName]
+	}
+	scheme, ok := schemes[*schemeName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "flaresim: unknown scheme %q\n", *schemeName)
 		return 2
+	}
+	var groups []cellsim.FlowGroup
+	if *mix != "" {
+		for _, part := range strings.Split(*mix, ",") {
+			name, countStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flaresim: -mix group %q: want \"scheme:count\"\n", part)
+				return 2
+			}
+			gs, ok := schemes[strings.ToLower(strings.TrimSpace(name))]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flaresim: -mix: unknown scheme %q\n", name)
+				return 2
+			}
+			count, err := strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil || count <= 0 {
+				fmt.Fprintf(os.Stderr, "flaresim: -mix group %q: bad count\n", part)
+				return 2
+			}
+			groups = append(groups, cellsim.FlowGroup{Scheme: gs, Count: count})
+		}
+		scheme = groups[0].Scheme
+		nVideos := 0
+		for _, g := range groups {
+			nVideos += g.Count
+		}
+		*videos = nVideos
 	}
 	ladder, ok := map[string]has.Ladder{
 		"sim":     has.SimLadder(),
@@ -104,6 +140,10 @@ func run() int {
 	cfg.Seed = *seed
 	cfg.Duration = *duration
 	cfg.NumVideo = *videos
+	if len(groups) > 0 {
+		cfg.VideoGroups = groups
+		cfg.NumVideo = 0
+	}
 	cfg.NumData = *data
 	cfg.NumLegacy = *legacy
 	cfg.Ladder = ladder
@@ -163,7 +203,11 @@ func run() int {
 		)
 	}
 	for _, c := range res.Clients {
-		addClient("video", c)
+		kind := "video"
+		if len(groups) > 0 {
+			kind = strings.ToLower(c.Scheme.String())
+		}
+		addClient(kind, c)
 	}
 	for _, c := range res.Legacy {
 		addClient("legacy", c)

@@ -49,6 +49,9 @@ type (
 	ChannelSpec = cellsim.ChannelSpec
 	// Scheme names the rate-adaptation system under test.
 	Scheme = cellsim.Scheme
+	// SchemeGroup assigns a block of a cell's video clients to one
+	// scheme's driver (mixed-scheme cells via Scenario.VideoGroups).
+	SchemeGroup = cellsim.FlowGroup
 	// Result is a completed run's per-flow outcomes and series.
 	Result = cellsim.Result
 	// ClientResult is one video client's outcome.
@@ -188,9 +191,10 @@ var (
 // MultiCellResult holds per-cell outcomes of a shared-server run.
 type MultiCellResult = cellsim.MultiResult
 
-// RunMultiCell executes several FLARE cells against one shared OneAPI
-// server — the paper's "a single OneAPI server can manage multiple BSs"
-// deployment. All cells must use SchemeFLARE.
+// RunMultiCell executes several cells concurrently, any scheme per cell.
+// FLARE cells share the given OneAPI server — the paper's "a single
+// OneAPI server can manage multiple BSs" deployment; other schemes
+// ignore it (and it may be nil when no cell runs FLARE).
 func RunMultiCell(server *OneAPIServer, cells ...Scenario) (*MultiCellResult, error) {
 	return cellsim.RunMulti(server, cells...)
 }

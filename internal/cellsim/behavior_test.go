@@ -215,12 +215,19 @@ func TestRunMultiSharedOneAPIServer(t *testing.T) {
 			t.Fatalf("cell %d recorded no solves", i)
 		}
 	}
-	// A shared server must reject a non-FLARE cell.
-	if _, err := RunMulti(server, quickConfig(SchemeAVIS, 1, 0)); err == nil {
-		t.Fatal("AVIS cell accepted on a shared OneAPI server")
+	// Non-FLARE cells are first-class in a multi-cell run: they simply
+	// ignore the shared server.
+	avisRes, err := RunMulti(server, quickConfig(SchemeAVIS, 1, 0))
+	if err != nil {
+		t.Fatalf("AVIS cell rejected in multi-cell run: %v", err)
 	}
+	if len(avisRes.Cells) != 1 || len(avisRes.Cells[0].Clients) != 1 {
+		t.Fatal("AVIS cell produced wrong shape")
+	}
+	// But a FLARE cell without a shared server has no control plane to
+	// join.
 	if _, err := RunMulti(nil, cellA); err == nil {
-		t.Fatal("nil server accepted")
+		t.Fatal("nil server accepted for a FLARE cell")
 	}
 	if _, err := RunMulti(server); err == nil {
 		t.Fatal("zero cells accepted")

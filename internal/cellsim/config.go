@@ -11,6 +11,7 @@ import (
 
 	"github.com/flare-sim/flare/internal/abr"
 	"github.com/flare-sim/flare/internal/avis"
+	"github.com/flare-sim/flare/internal/cellsim/driver"
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
@@ -51,6 +52,40 @@ func (s Scheme) String() string {
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
+}
+
+// FlowGroup assigns a contiguous block of video clients to one scheme's
+// driver, enabling mixed-scheme cells (e.g. FLARE-coordinated players
+// sharing a cell with unmodified FESTIVE players, each first-class and
+// attributed in the Result).
+type FlowGroup struct {
+	// Scheme is the rate-adaptation system running this group.
+	Scheme Scheme
+	// Count is the number of video clients in the group.
+	Count int
+}
+
+// videoGroups normalises the configuration's video population into
+// per-scheme groups: VideoGroups wins when set; otherwise the whole
+// population runs Config.Scheme. A single empty group is kept even for
+// zero video clients so the scheme's driver still shapes the cell
+// (scheduler policy, control ticks over data-only populations).
+func (c *Config) videoGroups() []FlowGroup {
+	if len(c.VideoGroups) > 0 {
+		out := make([]FlowGroup, len(c.VideoGroups))
+		copy(out, c.VideoGroups)
+		return out
+	}
+	return []FlowGroup{{Scheme: c.Scheme, Count: c.NumVideo}}
+}
+
+// totalCount sums the groups' client counts.
+func totalCount(groups []FlowGroup) int {
+	n := 0
+	for _, g := range groups {
+		n += g.Count
+	}
+	return n
 }
 
 // ChannelKind selects the link model.
@@ -128,8 +163,14 @@ type Config struct {
 	// level below the current one so downloads outpace playback.
 	// Negative disables; 0 uses the default (6 s).
 	LowBufferCapSeconds float64
-	// Scheme is the system under test.
+	// Scheme is the system under test. When VideoGroups is set it only
+	// labels the Result; otherwise it runs the whole video population.
 	Scheme Scheme
+	// VideoGroups optionally splits the video population between several
+	// schemes' drivers in one cell (a mixed-scheme deployment). When set
+	// it overrides NumVideo (which, if non-zero, must equal the groups'
+	// total). Flow IDs are assigned group by group, in order.
+	VideoGroups []FlowGroup
 	// Channel is the link model.
 	Channel ChannelSpec
 
@@ -194,10 +235,33 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cellsim: negative flow counts (%d video, %d data, %d legacy)",
 			c.NumVideo, c.NumData, c.NumLegacy)
 	}
-	if c.NumVideo+c.NumData+c.NumLegacy == 0 {
+	numVideo := c.NumVideo
+	if len(c.VideoGroups) > 0 {
+		seen := make(map[Scheme]bool, len(c.VideoGroups))
+		for i, g := range c.VideoGroups {
+			if g.Count <= 0 {
+				return fmt.Errorf("cellsim: video group %d (%s) needs a positive count, got %d",
+					i, g.Scheme, g.Count)
+			}
+			if !driver.Known(g.Scheme.String()) {
+				return fmt.Errorf("cellsim: video group %d: no driver registered for scheme %q (registered: %v)",
+					i, g.Scheme.String(), driver.Names())
+			}
+			if seen[g.Scheme] {
+				return fmt.Errorf("cellsim: scheme %s appears in more than one video group", g.Scheme)
+			}
+			seen[g.Scheme] = true
+		}
+		numVideo = totalCount(c.VideoGroups)
+		if c.NumVideo > 0 && c.NumVideo != numVideo {
+			return fmt.Errorf("cellsim: NumVideo (%d) disagrees with video groups' total (%d)",
+				c.NumVideo, numVideo)
+		}
+	}
+	if numVideo+c.NumData+c.NumLegacy == 0 {
 		return fmt.Errorf("cellsim: no flows configured")
 	}
-	if c.NumVideo > 0 || c.NumLegacy > 0 {
+	if numVideo > 0 || c.NumLegacy > 0 {
 		if err := c.Ladder.Validate(); err != nil {
 			return fmt.Errorf("cellsim: %w", err)
 		}
@@ -205,10 +269,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("cellsim: segment duration must be positive, got %v", c.SegmentDuration)
 		}
 	}
-	switch c.Scheme {
-	case SchemeFLARE, SchemeFESTIVE, SchemeGOOGLE, SchemeAVIS, SchemeBBA, SchemeMPC:
-	default:
-		return fmt.Errorf("cellsim: unknown scheme %d", int(c.Scheme))
+	if !driver.Known(c.Scheme.String()) {
+		return fmt.Errorf("cellsim: no driver registered for scheme %q (registered: %v)",
+			c.Scheme.String(), driver.Names())
 	}
 	if c.StatsLossRate < 0 || c.StatsLossRate >= 1 {
 		if c.StatsLossRate != 0 {
@@ -218,11 +281,11 @@ func (c *Config) Validate() error {
 	if err := c.ControlFaults.Validate(); err != nil {
 		return fmt.Errorf("cellsim: control faults: %w", err)
 	}
-	if len(c.VideoArrivals) > 0 && len(c.VideoArrivals) != c.NumVideo {
-		return fmt.Errorf("cellsim: %d arrivals for %d video clients", len(c.VideoArrivals), c.NumVideo)
+	if len(c.VideoArrivals) > 0 && len(c.VideoArrivals) != numVideo {
+		return fmt.Errorf("cellsim: %d arrivals for %d video clients", len(c.VideoArrivals), numVideo)
 	}
-	if len(c.VideoDepartures) > 0 && len(c.VideoDepartures) != c.NumVideo {
-		return fmt.Errorf("cellsim: %d departures for %d video clients", len(c.VideoDepartures), c.NumVideo)
+	if len(c.VideoDepartures) > 0 && len(c.VideoDepartures) != numVideo {
+		return fmt.Errorf("cellsim: %d departures for %d video clients", len(c.VideoDepartures), numVideo)
 	}
 	switch c.Channel.Kind {
 	case ChannelStatic:

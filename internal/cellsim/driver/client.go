@@ -1,0 +1,58 @@
+package driver
+
+import (
+	"fmt"
+
+	"github.com/flare-sim/flare/internal/abr"
+	"github.com/flare-sim/flare/internal/has"
+)
+
+func init() {
+	for _, name := range []string{"FESTIVE", "GOOGLE", "BBA", "MPC"} {
+		name := name
+		Register(name, func(cfg Config) (Controller, error) {
+			return newClientDriver(cfg)
+		})
+	}
+}
+
+// clientDriver runs the client-only ABR family: no network control
+// plane, no scheduler demands — each flow's adapter picks bitrates from
+// its own measurements. One implementation serves every registered
+// client scheme; the adapter constructor is the only varying part.
+type clientDriver struct {
+	Base
+	cfg        Config
+	newAdapter func() has.Adapter
+}
+
+var _ Controller = (*clientDriver)(nil)
+
+func newClientDriver(cfg Config) (*clientDriver, error) {
+	d := &clientDriver{cfg: cfg}
+	switch cfg.Scheme {
+	case "FESTIVE":
+		d.newAdapter = func() has.Adapter { return abr.NewFestive(cfg.Festive, cfg.RNG) }
+	case "GOOGLE":
+		d.newAdapter = func() has.Adapter { return abr.NewGoogle(cfg.Google) }
+	case "BBA":
+		d.newAdapter = func() has.Adapter { return abr.NewBBA(abr.DefaultBBAConfig()) }
+	case "MPC":
+		d.newAdapter = func() has.Adapter {
+			mcfg := abr.DefaultMPCConfig()
+			mcfg.SegmentSeconds = cfg.SegmentSeconds
+			return abr.NewMPC(mcfg)
+		}
+	default:
+		return nil, fmt.Errorf("driver: client driver cannot serve scheme %q", cfg.Scheme)
+	}
+	return d, nil
+}
+
+// Name implements Controller.
+func (d *clientDriver) Name() string { return d.cfg.Scheme }
+
+// NewAdapter implements Controller.
+func (d *clientDriver) NewAdapter(int) (has.Adapter, error) {
+	return d.newAdapter(), nil
+}

@@ -1,0 +1,245 @@
+package driver
+
+import (
+	"errors"
+	"time"
+
+	"github.com/flare-sim/flare/internal/abr"
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/faults"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/oneapi"
+)
+
+func init() {
+	Register("FLARE", newFlareDriver)
+}
+
+// flareDriver runs the paper's system: a OneAPI server (shared or
+// private) computes per-BAI bitrate assignments from eNodeB statistics
+// reports, installs them as GBRs through the PCEF, and the per-flow
+// plugins poll their assignments — with the control-plane fault
+// injectors and the plugins' graceful degradation in the loop.
+type flareDriver struct {
+	cfg    Config
+	server *oneapi.Server
+	cellID int
+
+	e       Engine
+	flows   []*Flow
+	plugins []*abr.FlarePlugin // parallel to flows
+
+	// Control-plane fault injection (nil when disabled): independent
+	// decision streams for the eNodeB's stats reports and the plugins'
+	// assignment polls.
+	statsFaults *faults.Injector
+	pollFaults  *faults.Injector
+	ctrl        ControlStats
+
+	// Buffer-feedback state: the active per-flow cap in bps (0 = none).
+	bufferCaps []float64
+}
+
+var (
+	_ Controller       = (*flareDriver)(nil)
+	_ ControlTelemetry = (*flareDriver)(nil)
+	_ FlowTelemetry    = (*flareDriver)(nil)
+)
+
+func newFlareDriver(cfg Config) (Controller, error) {
+	d := &flareDriver{cfg: cfg, server: cfg.OneAPI, cellID: cfg.CellID}
+	if d.server == nil {
+		d.server = oneapi.NewServer(cfg.Flare, nil)
+	}
+	if cfg.ControlFaults.Enabled() {
+		// Independent streams so report fate never perturbs poll fate;
+		// both derive deterministically from the fault seed.
+		statsCfg, pollCfg := cfg.ControlFaults, cfg.ControlFaults
+		pollCfg.Seed = statsCfg.Seed ^ 0x9e3779b97f4a7c15
+		d.statsFaults = faults.New(statsCfg)
+		d.pollFaults = faults.New(pollCfg)
+	}
+	return d, nil
+}
+
+// Name implements Controller.
+func (d *flareDriver) Name() string { return d.cfg.Scheme }
+
+// SchedulerPolicy implements Controller: FLARE needs GBR enforcement.
+func (d *flareDriver) SchedulerPolicy() SchedulerPolicy { return PolicyGBR }
+
+// NewAdapter implements Controller: every flow gets a FLARE plugin with
+// the configured degradation policy.
+func (d *flareDriver) NewAdapter(int) (has.Adapter, error) {
+	p := abr.NewFlarePluginWithFallback(d.cfg.Fallback)
+	d.plugins = append(d.plugins, p)
+	return p, nil
+}
+
+// Init implements Controller: open a OneAPI session per flow and
+// register the cell's background traffic (data, legacy, and co-resident
+// video groups of other schemes) as data flows at the PCRF — to the
+// FLARE controller they are all just competing traffic.
+func (d *flareDriver) Init(e Engine, flows []*Flow) error {
+	d.e = e
+	d.flows = flows
+	for _, f := range flows {
+		req := oneapi.SessionRequest{FlowID: f.ID, LadderBps: f.Player.MPD().Ladder()}
+		if err := d.server.OpenSession(d.cellID, req); err != nil {
+			return err
+		}
+	}
+	for _, id := range d.cfg.BackgroundFlowIDs {
+		d.server.PCRF().RegisterDataFlow(d.cellID, id)
+	}
+	return nil
+}
+
+// Interval implements Controller: the BAI, floored at 100 TTIs.
+func (d *flareDriver) Interval() time.Duration {
+	return clampedInterval(d.cfg.Flare.BAI, 100)
+}
+
+// lowBufferCap returns the Section II-B buffer-feedback threshold.
+func (d *flareDriver) lowBufferCap() float64 {
+	if d.cfg.LowBufferCapSeconds < 0 {
+		return 0
+	}
+	if d.cfg.LowBufferCapSeconds == 0 {
+		return 6
+	}
+	return d.cfg.LowBufferCapSeconds
+}
+
+// sendBufferFeedback updates each plugin's preference cap from its
+// player's buffer state: a low buffer caps the next assignment one level
+// down so the session refills; the cap is held (with hysteresis) until
+// the buffer recovers to twice the threshold, then cleared.
+func (d *flareDriver) sendBufferFeedback() {
+	threshold := d.lowBufferCap()
+	if threshold <= 0 {
+		return
+	}
+	if d.bufferCaps == nil {
+		d.bufferCaps = make([]float64, len(d.flows))
+	}
+	for i, f := range d.flows {
+		plugin := d.plugins[i]
+		if plugin == nil || f.Player.Done() {
+			continue
+		}
+		buf := f.Player.BufferSeconds()
+		switch {
+		case d.bufferCaps[i] == 0 && buf < threshold:
+			if cur := plugin.AssignedBps(); cur > 0 {
+				lvl := d.cfg.Ladder.HighestAtMost(cur)
+				if lvl > 0 {
+					lvl--
+				}
+				d.bufferCaps[i] = d.cfg.Ladder.Rate(lvl)
+			}
+		case d.bufferCaps[i] > 0 && buf > 2*threshold:
+			d.bufferCaps[i] = 0
+		}
+		// Departed sessions are unregistered; ignore their errors.
+		_ = d.server.SetPreferences(d.cellID, f.ID,
+			core.Preferences{MaxBps: d.bufferCaps[i]})
+	}
+}
+
+// OnBAI implements Controller: one control-plane interval end to end —
+// the eNodeB's statistics report upstream (which triggers the BAI) and
+// each plugin's assignment poll downstream. Either leg can be lost to
+// the fault injectors; a lost report means the eNodeB keeps its GBRs and
+// the window accounting accumulates into the next report, while lost
+// polls feed the plugins' fallback detectors. With no faults configured
+// the behaviour — and the RNG stream — is identical to a direct push.
+func (d *flareDriver) OnBAI(now time.Duration) error {
+	reportLost := false
+	// Legacy knob first (draws from the primary RNG, preserving
+	// pre-fault-injector determinism for configs that use it)...
+	if d.cfg.StatsLossRate > 0 && d.cfg.RNG.Float64() < d.cfg.StatsLossRate {
+		reportLost = true
+	}
+	// ...then the dedicated injector stream.
+	if !reportLost && d.statsFaults != nil && d.statsFaults.Decide(now).Lost() {
+		reportLost = true
+	}
+
+	if reportLost {
+		d.ctrl.ReportsLost++
+	} else {
+		d.sendBufferFeedback()
+		report := oneapi.StatsReport{Flows: d.e.CollectStats(d.flows), NumDataFlows: -1}
+		pcef := oneapi.PCEFFunc(func(flowID int, gbr float64) error {
+			return d.e.SetGBR(flowID, gbr)
+		})
+		_, err := d.server.RunBAI(d.cellID, report, pcef)
+		var enforceErr *oneapi.EnforceError
+		if errors.As(err, &enforceErr) {
+			// Partial enforcement is degraded, not fatal: the failed
+			// flows keep their previous GBR and assignment, and their
+			// plugins will see the assignment age until they degrade.
+			d.ctrl.EnforceFailures += len(enforceErr.Failed)
+		} else if err != nil {
+			return err
+		}
+	}
+
+	// Downstream: each live plugin polls its assignment. The server
+	// answers from its current table whether or not this interval's BAI
+	// ran; a dropped poll feeds the fallback detector instead.
+	for i, f := range d.flows {
+		plugin := d.plugins[i]
+		if plugin == nil || f.Player.Done() {
+			continue
+		}
+		if d.pollFaults != nil && d.pollFaults.Decide(now).Lost() {
+			d.ctrl.PollsLost++
+			plugin.PollFailed()
+			continue
+		}
+		a, ok := d.server.Assignment(d.cellID, f.ID)
+		if !ok {
+			// No BAI has covered the flow yet (or its session closed):
+			// nothing to deliver, nothing failed.
+			continue
+		}
+		plugin.Deliver(a.RateBps, a.BAISeq)
+	}
+	return nil
+}
+
+// OnSegmentComplete implements Controller: the plugin already observed
+// the download through the adapter path; nothing network-side to do.
+func (d *flareDriver) OnSegmentComplete(*Flow, has.SegmentRecord) {}
+
+// OnFlowDeparture implements Controller: release the flow's session so
+// the next BAI redistributes its share.
+func (d *flareDriver) OnFlowDeparture(f *Flow) {
+	d.server.CloseSession(d.cellID, f.ID)
+}
+
+// Close implements Controller. Sessions are deliberately left open: a
+// shared OneAPI server outlives the run (re-opening is idempotent), and
+// solve-time telemetry is read after the run ends.
+func (d *flareDriver) Close() error { return nil }
+
+// ControlStats implements ControlTelemetry.
+func (d *flareDriver) ControlStats() ControlStats { return d.ctrl }
+
+// SolveTimes implements ControlTelemetry.
+func (d *flareDriver) SolveTimes() []float64 { return d.server.SolveTimes(d.cellID) }
+
+// FlowExtras implements FlowTelemetry: the plugin's coordination-mode
+// counters.
+func (d *flareDriver) FlowExtras(f *Flow) FlowExtras {
+	if f.Index < 0 || f.Index >= len(d.plugins) || d.plugins[f.Index] == nil {
+		return FlowExtras{}
+	}
+	p := d.plugins[f.Index]
+	return FlowExtras{
+		FallbackTransitions: p.Transitions(),
+		FallbackIntervals:   p.FallbackIntervals(),
+	}
+}

@@ -1,0 +1,97 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/sim"
+)
+
+func TestNewUnknownScheme(t *testing.T) {
+	tests := []struct {
+		name string
+		want string // substring of the error
+	}{
+		{"", "unknown scheme"},
+		{"NOPE", "unknown scheme"},
+		{"flare", "unknown scheme"}, // names are case-sensitive
+		{"FLARE ", "unknown scheme"},
+	}
+	for _, tt := range tests {
+		t.Run("name="+tt.name, func(t *testing.T) {
+			c, err := New(tt.name, Config{})
+			if err == nil {
+				t.Fatalf("New(%q) accepted", tt.name)
+			}
+			if c != nil {
+				t.Fatalf("New(%q) returned a controller with an error", tt.name)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("New(%q) error %q missing %q", tt.name, err, tt.want)
+			}
+			// The error must teach: it lists what is registered.
+			if !strings.Contains(err.Error(), "FLARE") {
+				t.Fatalf("New(%q) error %q does not list registered schemes", tt.name, err)
+			}
+		})
+	}
+}
+
+func TestRegisteredSchemes(t *testing.T) {
+	for _, name := range []string{"FLARE", "AVIS", "FESTIVE", "GOOGLE", "BBA", "MPC"} {
+		if !Known(name) {
+			t.Errorf("scheme %q not registered", name)
+		}
+	}
+	if Known("NOPE") {
+		t.Error("Known accepted an unregistered name")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	dummy := func(Config) (Controller, error) { return nil, nil }
+	mustPanic("duplicate registration", func() { Register("FLARE", dummy) })
+	mustPanic("empty name", func() { Register("", dummy) })
+	mustPanic("nil factory", func() { Register("X-NIL", nil) })
+}
+
+func TestClientDriverBuildsEveryScheme(t *testing.T) {
+	for _, name := range []string{"FESTIVE", "GOOGLE", "BBA", "MPC"} {
+		c, err := New(name, Config{SegmentSeconds: 2, RNG: sim.NewRNG(1)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("%s driver reports name %q", name, c.Name())
+		}
+		if c.SchedulerPolicy() != PolicyBestEffort {
+			t.Errorf("%s is client-only but demands policy %d", name, c.SchedulerPolicy())
+		}
+		if c.Interval() != 0 {
+			t.Errorf("%s is client-only but wants control ticks", name)
+		}
+		a, err := c.NewAdapter(0)
+		if err != nil || a == nil {
+			t.Errorf("%s adapter: %v %v", name, a, err)
+		}
+	}
+	// The client factory itself refuses schemes it does not serve.
+	if _, err := newClientDriver(Config{Scheme: "FLARE"}); err == nil {
+		t.Error("client driver accepted FLARE")
+	}
+}

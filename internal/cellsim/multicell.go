@@ -1,6 +1,8 @@
 package cellsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -13,29 +15,58 @@ type MultiResult struct {
 	Cells []*Result
 }
 
-// RunMulti executes several FLARE cells against one shared OneAPI
-// server — the paper's multi-BS deployment. Cells are radio-independent
-// (bitrates are computed per cell), so they run concurrently; each
-// cell's result is as deterministic as its own seed.
-func RunMulti(server *oneapi.Server, cells ...Config) (*MultiResult, error) {
-	if server == nil {
-		return nil, fmt.Errorf("cellsim: RunMulti needs a OneAPI server")
+// usesFLARE reports whether any of the cell's video groups (or its
+// whole population, absent groups) runs the FLARE driver — i.e. whether
+// the cell participates in the shared OneAPI control plane.
+func (c *Config) usesFLARE() bool {
+	for _, g := range c.videoGroups() {
+		if g.Scheme == SchemeFLARE {
+			return true
+		}
 	}
+	return false
+}
+
+// RunMulti executes several cells concurrently, any scheme per cell —
+// the paper's multi-BS deployment generalised. FLARE cells share the
+// given OneAPI server ("a single OneAPI server can manage multiple BSs,
+// though the bitrates are calculated independently for each network
+// cell"); cells of other schemes ignore it, and the server may be nil
+// when no cell runs FLARE. Cells are radio-independent, so each cell's
+// result is as deterministic as its own seed. All failures — assembly
+// and run alike — are aggregated with errors.Join.
+func RunMulti(server *oneapi.Server, cells ...Config) (*MultiResult, error) {
+	return RunMultiContext(context.Background(), server, cells...)
+}
+
+// RunMultiContext is RunMulti with cooperative cancellation: every
+// cell's TTI loop watches ctx, and the first cell failure cancels the
+// cells still running.
+func RunMultiContext(ctx context.Context, server *oneapi.Server, cells ...Config) (*MultiResult, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("cellsim: RunMulti needs at least one cell")
 	}
 	sims := make([]*Sim, len(cells))
+	var buildErrs []error
 	for i, cfg := range cells {
-		if cfg.Scheme != SchemeFLARE {
-			return nil, fmt.Errorf("cellsim: RunMulti cell %d: only FLARE cells share a OneAPI server", i)
+		if server == nil && cfg.usesFLARE() {
+			buildErrs = append(buildErrs,
+				fmt.Errorf("cellsim: cell %d: FLARE cells in a multi-cell run need a shared OneAPI server", i))
+			continue
 		}
 		s, err := NewInCell(cfg, server, i)
 		if err != nil {
-			return nil, fmt.Errorf("cellsim: cell %d: %w", i, err)
+			buildErrs = append(buildErrs, fmt.Errorf("cellsim: cell %d: %w", i, err))
+			continue
 		}
 		sims[i] = s
 	}
+	if len(buildErrs) > 0 {
+		return nil, errors.Join(buildErrs...)
+	}
 
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := &MultiResult{Cells: make([]*Result, len(sims))}
 	errs := make([]error, len(sims))
 	var wg sync.WaitGroup
@@ -44,14 +75,34 @@ func RunMulti(server *oneapi.Server, cells ...Config) (*MultiResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out.Cells[i], errs[i] = s.Run()
+			res, err := s.RunContext(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("cellsim: cell %d: %w", i, err)
+				cancel()
+				return
+			}
+			out.Cells[i] = res
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cellsim: cell %d: %w", i, err)
+	// Aggregate every real failure; cancellations are only interesting
+	// when nothing else failed (i.e. the caller's ctx fired), since the
+	// first real failure cancels the sibling cells.
+	var failed, cancelled []error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled):
+			cancelled = append(cancelled, err)
+		default:
+			failed = append(failed, err)
 		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
+	}
+	if len(cancelled) > 0 {
+		return nil, errors.Join(cancelled...)
 	}
 	return out, nil
 }

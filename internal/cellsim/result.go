@@ -1,6 +1,7 @@
 package cellsim
 
 import (
+	"github.com/flare-sim/flare/internal/cellsim/driver"
 	"github.com/flare-sim/flare/internal/metrics"
 )
 
@@ -8,6 +9,10 @@ import (
 type ClientResult struct {
 	// FlowID is the client's bearer ID.
 	FlowID int
+	// Scheme is the rate-adaptation system that ran this client — in
+	// mixed-scheme cells (Config.VideoGroups) clients of different
+	// schemes share the Clients slice and this field attributes them.
+	Scheme Scheme
 	// AvgRateBps is the mean encoding bitrate over downloaded segments
 	// — the paper's "average video rate".
 	AvgRateBps float64
@@ -40,18 +45,10 @@ type ClientResult struct {
 }
 
 // ControlPlaneStats aggregates control-plane fault activity over a run
-// (FLARE only; all zero for fault-free runs).
-type ControlPlaneStats struct {
-	// ReportsLost counts eNodeB statistics reports lost upstream
-	// (no BAI ran that interval).
-	ReportsLost int
-	// PollsLost counts plugin assignment polls lost downstream.
-	PollsLost int
-	// EnforceFailures counts per-flow GBR installs that failed at the
-	// PCEF during otherwise-successful BAIs (the flows kept their
-	// previous assignments).
-	EnforceFailures int
-}
+// (schemes with a network control plane only; all zero for fault-free
+// runs). It is the driver layer's ControlStats, re-exported so existing
+// callers keep compiling.
+type ControlPlaneStats = driver.ControlStats
 
 // DataResult is one data flow's outcome.
 type DataResult struct {
@@ -84,6 +81,18 @@ type Result struct {
 	VideoRateSeries []*metrics.TimeSeries
 	BufferSeries    []*metrics.TimeSeries
 	DataTputSeries  []*metrics.TimeSeries
+}
+
+// ClientsByScheme returns the clients that ran under the given scheme,
+// in flow-ID order — the per-group view of a mixed-scheme cell.
+func (r *Result) ClientsByScheme(s Scheme) []ClientResult {
+	var out []ClientResult
+	for _, c := range r.Clients {
+		if c.Scheme == s {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // AvgRates returns the per-client average bitrates (for CDFs and Jain).

@@ -1,14 +1,13 @@
 package cellsim
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/flare-sim/flare/internal/abr"
-	"github.com/flare-sim/flare/internal/avis"
+	"github.com/flare-sim/flare/internal/cellsim/driver"
 	"github.com/flare-sim/flare/internal/core"
-	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/metrics"
@@ -33,7 +32,24 @@ func (e *env) Schedule(delay int64, fn func()) {
 	e.events.Schedule(e.clock.TTI()+delay, fn)
 }
 
+// simGroup is one scheme's slice of the video population: the driver
+// running it, the flows it owns, and its control-tick period.
+type simGroup struct {
+	scheme   Scheme
+	count    int
+	ctrl     driver.Controller
+	flows    []*driver.Flow
+	tickTTIs int64
+}
+
 // Sim is one assembled cell simulation. Build with New, execute with Run.
+//
+// The engine is scheme-agnostic: it owns the radio (channel, eNodeB,
+// scheduler), the transport flows, and the HAS players, and delegates
+// every scheme-specific decision — adapters, control-plane wiring,
+// periodic ticks, departures — to the driver layer
+// (internal/cellsim/driver). One cell can host several scheme groups at
+// once (Config.VideoGroups); each group gets its own driver instance.
 type Sim struct {
 	cfg     Config
 	env     env
@@ -41,10 +57,9 @@ type Sim struct {
 	channel lte.Channel
 	enb     *lte.ENodeB
 
-	videoBearers []*lte.Bearer
-	videoFlows   []*transport.Flow
-	players      []*has.Player
-	plugins      []*abr.FlarePlugin // parallel to players for FLARE
+	groups []*simGroup
+	// video is every group's flows concatenated, in flow-ID order.
+	video []*driver.Flow
 
 	dataBearers []*lte.Bearer
 	dataFlows   []*transport.Flow
@@ -53,20 +68,6 @@ type Sim struct {
 	legacyFlows   []*transport.Flow
 	legacyPlayers []*has.Player
 
-	oneAPI    *oneapi.Server  // FLARE only
-	cellID    int             // this cell's ID at the OneAPI server
-	allocator *avis.Allocator // AVIS only
-
-	// control-plane fault injection (FLARE only, nil when disabled):
-	// independent decision streams for the eNodeB's stats reports and
-	// the plugins' assignment polls.
-	statsFaults *faults.Injector
-	pollFaults  *faults.Injector
-	ctrl        ControlPlaneStats
-
-	// buffer-feedback state: the active per-flow cap in bps (0 = none).
-	bufferCaps []float64
-
 	// series state
 	rateSeries    []*metrics.TimeSeries
 	bufSeries     []*metrics.TimeSeries
@@ -74,16 +75,20 @@ type Sim struct {
 	lastDataBytes []int64
 }
 
+// Engine interface conformance: Sim is the view drivers operate on.
+var _ driver.Engine = (*Sim)(nil)
+
 // New assembles a simulation from the configuration.
 func New(cfg Config) (*Sim, error) {
 	return NewInCell(cfg, nil, 0)
 }
 
-// NewInCell assembles a simulation whose FLARE control plane lives on a
-// shared OneAPI server under the given cell ID — the paper's "a single
-// OneAPI server can manage multiple BSs, though the bitrates are
-// calculated independently for each network cell". A nil server gives
-// the cell its own private one.
+// NewInCell assembles a simulation whose network control plane (if its
+// schemes have one) lives on a shared OneAPI server under the given cell
+// ID — the paper's "a single OneAPI server can manage multiple BSs,
+// though the bitrates are calculated independently for each network
+// cell". A nil server gives FLARE cells their own private one; schemes
+// without a OneAPI control plane ignore it.
 func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -91,7 +96,10 @@ func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = time.Second
 	}
-	s := &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed), oneAPI: server, cellID: cellID}
+	groups := cfg.videoGroups()
+	cfg.NumVideo = totalCount(groups)
+
+	s := &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 
 	numUEs := cfg.NumVideo + cfg.NumData + cfg.NumLegacy
 	ch, err := s.buildChannel(numUEs)
@@ -99,6 +107,10 @@ func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 		return nil, err
 	}
 	s.channel = ch
+
+	if err := s.buildDrivers(groups, server, cellID); err != nil {
+		return nil, err
+	}
 	s.enb = lte.NewENodeB(ch, s.buildScheduler())
 
 	if err := s.buildVideo(); err != nil {
@@ -110,10 +122,60 @@ func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 	if err := s.buildLegacy(); err != nil {
 		return nil, err
 	}
-	if err := s.buildControlPlane(); err != nil {
-		return nil, err
+	for _, g := range s.groups {
+		if err := g.ctrl.Init(s, g.flows); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
+}
+
+// buildDrivers instantiates one registered driver per video group, with
+// the engine-computed context each needs: its share of the configuration
+// plus the competing background population (data + legacy + the other
+// groups' video flows).
+func (s *Sim) buildDrivers(groups []FlowGroup, server *oneapi.Server, cellID int) error {
+	totalVideo := totalCount(groups)
+	offset := 0
+	for _, fg := range groups {
+		background := make([]int, 0, s.cfg.NumData+s.cfg.NumLegacy+totalVideo-fg.Count)
+		for i := 0; i < s.cfg.NumData; i++ {
+			background = append(background, totalVideo+i)
+		}
+		for i := 0; i < s.cfg.NumLegacy; i++ {
+			background = append(background, totalVideo+s.cfg.NumData+i)
+		}
+		for id := 0; id < totalVideo; id++ {
+			if id < offset || id >= offset+fg.Count {
+				background = append(background, id)
+			}
+		}
+		dcfg := driver.Config{
+			Count:               fg.Count,
+			Ladder:              s.cfg.Ladder,
+			SegmentSeconds:      s.cfg.SegmentDuration.Seconds(),
+			RNG:                 s.rng,
+			Flare:               s.cfg.Flare,
+			Avis:                s.cfg.Avis,
+			Festive:             s.cfg.Festive,
+			Google:              s.cfg.Google,
+			Fallback:            s.cfg.Fallback,
+			ControlFaults:       s.cfg.ControlFaults,
+			StatsLossRate:       s.cfg.StatsLossRate,
+			LowBufferCapSeconds: s.cfg.LowBufferCapSeconds,
+			OneAPI:              server,
+			CellID:              cellID,
+			BackgroundFlows:     len(background),
+			BackgroundFlowIDs:   background,
+		}
+		ctrl, err := driver.New(fg.Scheme.String(), dcfg)
+		if err != nil {
+			return err
+		}
+		s.groups = append(s.groups, &simGroup{scheme: fg.Scheme, count: fg.Count, ctrl: ctrl})
+		offset += fg.Count
+	}
+	return nil
 }
 
 func (s *Sim) buildChannel(numUEs int) (lte.Channel, error) {
@@ -142,15 +204,34 @@ func (s *Sim) buildChannel(numUEs int) (lte.Channel, error) {
 	}
 }
 
+// buildScheduler resolves the cell's radio scheduler from the resident
+// drivers' declared policies: the strongest requirement wins
+// (GBR > Sliced > BestEffort). There is no scheme dispatch here — a new
+// scheme influences scheduling purely through its driver's policy.
 func (s *Sim) buildScheduler() lte.Scheduler {
-	switch s.cfg.Scheme {
-	case SchemeFLARE:
+	policy := driver.PolicyBestEffort
+	var sizer driver.SliceSizer
+	for _, g := range s.groups {
+		p := g.ctrl.SchedulerPolicy()
+		if p > policy {
+			policy = p
+		}
+		if p == driver.PolicySliced && sizer == nil {
+			if sz, ok := g.ctrl.(driver.SliceSizer); ok {
+				sizer = sz
+			}
+		}
+	}
+	switch policy {
+	case driver.PolicyGBR:
 		return lte.TwoPhaseGBRScheduler{}
-	case SchemeAVIS:
-		frac := s.cfg.Avis.VideoFraction
-		if frac <= 0 {
-			total := s.cfg.NumVideo + s.cfg.NumData + s.cfg.NumLegacy
-			frac = float64(s.cfg.NumVideo) / float64(total)
+	case driver.PolicySliced:
+		frac := 0.0
+		if sizer != nil {
+			frac = sizer.VideoFraction(s.cfg.NumVideo, s.cfg.NumData+s.cfg.NumLegacy)
+		}
+		if frac > 1 {
+			frac = 1
 		}
 		return lte.SlicedScheduler{VideoFraction: frac}
 	default:
@@ -160,56 +241,53 @@ func (s *Sim) buildScheduler() lte.Scheduler {
 
 func (s *Sim) buildVideo() error {
 	segs := int(s.cfg.Duration/s.cfg.SegmentDuration) + 16
-	for i := 0; i < s.cfg.NumVideo; i++ {
-		mpd, err := has.NewMPD(s.cfg.Ladder, s.cfg.SegmentDuration, segs)
-		if err != nil {
-			return err
+	id := 0
+	for _, g := range s.groups {
+		g := g
+		for i := 0; i < groupCount(g); i++ {
+			mpd, err := has.NewMPD(s.cfg.Ladder, s.cfg.SegmentDuration, segs)
+			if err != nil {
+				return err
+			}
+			mpd.SizeJitter = s.cfg.VBRJitter
+			b := &lte.Bearer{ID: id, UE: id, Class: lte.ClassVideo}
+			if _, err := s.enb.AddBearer(b); err != nil {
+				return err
+			}
+			flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+			if err != nil {
+				return err
+			}
+			adapter, err := g.ctrl.NewAdapter(i)
+			if err != nil {
+				return err
+			}
+			player, err := has.NewPlayer(&s.env, flow, mpd, adapter, s.cfg.Player)
+			if err != nil {
+				return err
+			}
+			f := &driver.Flow{
+				ID:        id,
+				Index:     i,
+				UE:        id,
+				Bearer:    b,
+				Player:    player,
+				Adapter:   adapter,
+				Transport: flow,
+			}
+			player.OnSegment = func(rec has.SegmentRecord) {
+				g.ctrl.OnSegmentComplete(f, rec)
+			}
+			g.flows = append(g.flows, f)
+			s.video = append(s.video, f)
+			id++
 		}
-		mpd.SizeJitter = s.cfg.VBRJitter
-		b := &lte.Bearer{ID: i, UE: i, Class: lte.ClassVideo}
-		if _, err := s.enb.AddBearer(b); err != nil {
-			return err
-		}
-		flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
-		if err != nil {
-			return err
-		}
-		adapter, plugin := s.buildAdapter()
-		player, err := has.NewPlayer(&s.env, flow, mpd, adapter, s.cfg.Player)
-		if err != nil {
-			return err
-		}
-		s.videoBearers = append(s.videoBearers, b)
-		s.videoFlows = append(s.videoFlows, flow)
-		s.players = append(s.players, player)
-		s.plugins = append(s.plugins, plugin)
 	}
 	return nil
 }
 
-// buildAdapter returns the scheme's adapter; the second value is non-nil
-// only for FLARE (the plugin handle assignments are pushed to).
-func (s *Sim) buildAdapter() (has.Adapter, *abr.FlarePlugin) {
-	switch s.cfg.Scheme {
-	case SchemeFLARE:
-		p := abr.NewFlarePluginWithFallback(s.cfg.Fallback)
-		return p, p
-	case SchemeFESTIVE:
-		return abr.NewFestive(s.cfg.Festive, s.rng), nil
-	case SchemeGOOGLE:
-		return abr.NewGoogle(s.cfg.Google), nil
-	case SchemeAVIS:
-		return abr.NewThroughput(3), nil
-	case SchemeBBA:
-		return abr.NewBBA(abr.DefaultBBAConfig()), nil
-	case SchemeMPC:
-		mcfg := abr.DefaultMPCConfig()
-		mcfg.SegmentSeconds = s.cfg.SegmentDuration.Seconds()
-		return abr.NewMPC(mcfg), nil
-	default:
-		panic("cellsim: unreachable scheme")
-	}
-}
+// groupCount returns the number of flows a group was configured for.
+func groupCount(g *simGroup) int { return g.count }
 
 func (s *Sim) buildData() error {
 	for i := 0; i < s.cfg.NumData; i++ {
@@ -230,8 +308,9 @@ func (s *Sim) buildData() error {
 
 // buildLegacy adds the conventional (non-FLARE) players of the Section
 // V coexistence deployment: FESTIVE adaptation over best-effort (data
-// class) bearers, invisible to the FLARE controller except as data
-// flows at the PCRF.
+// class) bearers, invisible to any network-side controller except as
+// data flows. (For first-class mixed populations with per-scheme result
+// attribution, prefer Config.VideoGroups.)
 func (s *Sim) buildLegacy() error {
 	segs := int(s.cfg.Duration/s.cfg.SegmentDuration) + 16
 	for i := 0; i < s.cfg.NumLegacy; i++ {
@@ -260,193 +339,39 @@ func (s *Sim) buildLegacy() error {
 	return nil
 }
 
-func (s *Sim) buildControlPlane() error {
-	switch s.cfg.Scheme {
-	case SchemeFLARE:
-		if s.oneAPI == nil {
-			s.oneAPI = oneapi.NewServer(s.cfg.Flare, nil)
-		}
-		if s.cfg.ControlFaults.Enabled() {
-			// Independent streams so report fate never perturbs poll
-			// fate; both derive deterministically from the fault seed.
-			statsCfg, pollCfg := s.cfg.ControlFaults, s.cfg.ControlFaults
-			pollCfg.Seed = statsCfg.Seed ^ 0x9e3779b97f4a7c15
-			s.statsFaults = faults.New(statsCfg)
-			s.pollFaults = faults.New(pollCfg)
-		}
-		for i, b := range s.videoBearers {
-			req := oneapi.SessionRequest{FlowID: b.ID, LadderBps: s.players[i].MPD().Ladder()}
-			if err := s.oneAPI.OpenSession(s.cellID, req); err != nil {
-				return err
-			}
-		}
-		for _, b := range s.dataBearers {
-			s.oneAPI.PCRF().RegisterDataFlow(s.cellID, b.ID)
-		}
-		// Legacy HAS flows look like data traffic to the network.
-		for _, b := range s.legacyBearers {
-			s.oneAPI.PCRF().RegisterDataFlow(s.cellID, b.ID)
-		}
-	case SchemeAVIS:
-		s.oneAPI = nil // the injected OneAPI server is FLARE-only
-		s.allocator = avis.NewAllocator(s.cfg.Avis)
-		for i, b := range s.videoBearers {
-			if err := s.allocator.Register(b.ID, s.players[i].MPD().Ladder()); err != nil {
-				return err
-			}
-		}
-	default:
-		s.oneAPI = nil // client-side schemes have no control plane
-	}
-	return nil
-}
-
-// collectStats drains the per-bearer accounting windows and attaches the
-// current-MCS hint — the Statistics Reporter's report for one interval.
-func (s *Sim) collectStats() map[int]core.FlowStats {
-	stats := make(map[int]core.FlowStats, len(s.videoBearers))
-	for _, b := range s.videoBearers {
-		w := b.CollectWindow()
-		stats[b.ID] = core.FlowStats{
+// CollectStats implements driver.Engine: drain the given flows'
+// per-bearer accounting windows and attach the current-MCS hint — the
+// Statistics Reporter's report for one interval.
+func (s *Sim) CollectStats(flows []*driver.Flow) map[int]core.FlowStats {
+	stats := make(map[int]core.FlowStats, len(flows))
+	for _, f := range flows {
+		w := f.Bearer.CollectWindow()
+		stats[f.ID] = core.FlowStats{
 			Bytes:          w.Bytes,
 			RBs:            w.RBs,
-			BytesPerRBHint: lte.BitsPerRB(s.channel.ITbs(b.UE)) / 8,
+			BytesPerRBHint: lte.BitsPerRB(s.channel.ITbs(f.UE)) / 8,
 		}
 	}
 	return stats
 }
 
-// lowBufferCap returns the Section II-B buffer-feedback threshold.
-func (s *Sim) lowBufferCap() float64 {
-	if s.cfg.LowBufferCapSeconds < 0 {
-		return 0
-	}
-	if s.cfg.LowBufferCapSeconds == 0 {
-		return 6
-	}
-	return s.cfg.LowBufferCapSeconds
-}
+// SetGBR implements driver.Engine.
+func (s *Sim) SetGBR(flowID int, bps float64) error { return s.enb.SetGBR(flowID, bps) }
 
-// sendBufferFeedback updates each plugin's preference cap from its
-// player's buffer state: a low buffer caps the next assignment one level
-// down so the session refills; the cap is held (with hysteresis) until
-// the buffer recovers to twice the threshold, then cleared.
-func (s *Sim) sendBufferFeedback() {
-	threshold := s.lowBufferCap()
-	if threshold <= 0 {
-		return
-	}
-	if s.bufferCaps == nil {
-		s.bufferCaps = make([]float64, len(s.players))
-	}
-	for i, p := range s.players {
-		plugin := s.plugins[i]
-		if plugin == nil || p.Done() {
-			continue
-		}
-		buf := p.BufferSeconds()
-		switch {
-		case s.bufferCaps[i] == 0 && buf < threshold:
-			if cur := plugin.AssignedBps(); cur > 0 {
-				lvl := s.cfg.Ladder.HighestAtMost(cur)
-				if lvl > 0 {
-					lvl--
-				}
-				s.bufferCaps[i] = s.cfg.Ladder.Rate(lvl)
-			}
-		case s.bufferCaps[i] > 0 && buf > 2*threshold:
-			s.bufferCaps[i] = 0
-		}
-		// Departed sessions are unregistered; ignore their errors.
-		_ = s.oneAPI.SetPreferences(s.cellID, s.videoBearers[i].ID,
-			core.Preferences{MaxBps: s.bufferCaps[i]})
-	}
-}
+// SetMBR implements driver.Engine.
+func (s *Sim) SetMBR(flowID int, bps float64) error { return s.enb.SetMBR(flowID, bps) }
 
-// flareControlTick models one control-plane interval end to end: the
-// eNodeB's statistics report upstream (which triggers the BAI) and each
-// plugin's assignment poll downstream. Either leg can be lost to the
-// fault injectors; a lost report means the eNodeB keeps its GBRs and
-// the window accounting accumulates into the next report, while lost
-// polls feed the plugins' fallback detectors. With no faults configured
-// the behaviour — and the RNG stream — is identical to the original
-// direct-push path.
-func (s *Sim) flareControlTick(now time.Duration) error {
-	reportLost := false
-	// Legacy knob first (draws from the primary RNG, preserving
-	// pre-fault-injector determinism for configs that use it)...
-	if s.cfg.StatsLossRate > 0 && s.rng.Float64() < s.cfg.StatsLossRate {
-		reportLost = true
-	}
-	// ...then the dedicated injector stream.
-	if !reportLost && s.statsFaults != nil && s.statsFaults.Decide(now).Lost() {
-		reportLost = true
-	}
-
-	if reportLost {
-		s.ctrl.ReportsLost++
-	} else {
-		s.sendBufferFeedback()
-		report := oneapi.StatsReport{Flows: s.collectStats(), NumDataFlows: -1}
-		pcef := oneapi.PCEFFunc(func(flowID int, gbr float64) error {
-			return s.enb.SetGBR(flowID, gbr)
-		})
-		_, err := s.oneAPI.RunBAI(s.cellID, report, pcef)
-		var enforceErr *oneapi.EnforceError
-		if errors.As(err, &enforceErr) {
-			// Partial enforcement is degraded, not fatal: the failed
-			// flows keep their previous GBR and assignment, and their
-			// plugins will see the assignment age until they degrade.
-			s.ctrl.EnforceFailures += len(enforceErr.Failed)
-		} else if err != nil {
-			return err
-		}
-	}
-
-	// Downstream: each live plugin polls its assignment. The server
-	// answers from its current table whether or not this interval's
-	// BAI ran; a dropped poll feeds the fallback detector instead.
-	for i, plugin := range s.plugins {
-		if plugin == nil || s.players[i].Done() {
-			continue
-		}
-		if s.pollFaults != nil && s.pollFaults.Decide(now).Lost() {
-			s.ctrl.PollsLost++
-			plugin.PollFailed()
-			continue
-		}
-		a, ok := s.oneAPI.Assignment(s.cellID, s.videoBearers[i].ID)
-		if !ok {
-			// No BAI has covered the flow yet (or its session closed):
-			// nothing to deliver, nothing failed.
-			continue
-		}
-		plugin.Deliver(a.RateBps, a.BAISeq)
-	}
-	return nil
-}
-
-func (s *Sim) runAvisEpoch() error {
-	assignments := s.allocator.RunEpoch(s.collectStats(), s.cfg.NumData+s.cfg.NumLegacy)
-	for _, a := range assignments {
-		if err := s.enb.SetGBR(a.FlowID, a.GBRBps); err != nil {
-			return err
-		}
-		if err := s.enb.SetMBR(a.FlowID, a.MBRBps); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// RNG implements driver.Engine.
+func (s *Sim) RNG() *sim.RNG { return s.rng }
 
 func (s *Sim) sample(tSec float64) {
-	for i, p := range s.players {
+	for i, f := range s.video {
 		rate := 0.0
-		if q := p.State().LastQuality; q >= 0 {
+		if q := f.Player.State().LastQuality; q >= 0 {
 			rate = s.cfg.Ladder.Rate(q)
 		}
 		s.rateSeries[i].Add(tSec, rate)
-		s.bufSeries[i].Add(tSec, p.BufferSeconds())
+		s.bufSeries[i].Add(tSec, f.Player.BufferSeconds())
 	}
 	for i, f := range s.dataFlows {
 		delivered := f.DeliveredTotal()
@@ -458,28 +383,34 @@ func (s *Sim) sample(tSec float64) {
 
 // Run executes the simulation and returns the collected results.
 func (s *Sim) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the TTI loop checks
+// ctx roughly once per simulated second and returns ctx.Err() when it
+// fires. Cancellation does not perturb determinism — completed runs are
+// byte-identical with or without a context.
+func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 	durTTIs := sim.DurationToTTIs(s.cfg.Duration)
 
 	// Stagger player and data-flow starts over the first two seconds so
 	// clients don't move in lockstep; explicit arrival schedules win.
-	for i, p := range s.players {
-		p := p
-		startTTI := int64(s.rng.Intn(2000))
-		if len(s.cfg.VideoArrivals) > 0 {
-			startTTI = sim.DurationToTTIs(s.cfg.VideoArrivals[i])
-		}
-		s.env.events.Schedule(startTTI, p.Start)
-		if len(s.cfg.VideoDepartures) > 0 && s.cfg.VideoDepartures[i] > 0 {
-			id := s.videoBearers[i].ID
-			s.env.events.Schedule(sim.DurationToTTIs(s.cfg.VideoDepartures[i]), func() {
-				p.Stop()
-				if s.oneAPI != nil {
-					s.oneAPI.CloseSession(s.cellID, id)
-				}
-				if s.allocator != nil {
-					s.allocator.Unregister(id)
-				}
-			})
+	for _, g := range s.groups {
+		g := g
+		for _, f := range g.flows {
+			f := f
+			p := f.Player
+			startTTI := int64(s.rng.Intn(2000))
+			if len(s.cfg.VideoArrivals) > 0 {
+				startTTI = sim.DurationToTTIs(s.cfg.VideoArrivals[f.ID])
+			}
+			s.env.events.Schedule(startTTI, p.Start)
+			if len(s.cfg.VideoDepartures) > 0 && s.cfg.VideoDepartures[f.ID] > 0 {
+				s.env.events.Schedule(sim.DurationToTTIs(s.cfg.VideoDepartures[f.ID]), func() {
+					p.Stop()
+					g.ctrl.OnFlowDeparture(f)
+				})
+			}
 		}
 	}
 	for _, p := range s.legacyPlayers {
@@ -491,25 +422,16 @@ func (s *Sim) Run() (*Result, error) {
 		s.env.events.Schedule(int64(s.rng.Intn(2000)), func() { f.SetGreedy(true) })
 	}
 
-	baiTTIs := int64(0)
-	if s.oneAPI != nil {
-		baiTTIs = sim.DurationToTTIs(s.cfg.Flare.BAI)
-		if baiTTIs < 100 {
-			baiTTIs = 100
-		}
-	}
-	epochTTIs := int64(0)
-	if s.allocator != nil {
-		epochTTIs = int64(s.allocator.Config().WindowMs)
-		if epochTTIs < 10 {
-			epochTTIs = 10
+	for _, g := range s.groups {
+		if iv := g.ctrl.Interval(); iv > 0 {
+			g.tickTTIs = sim.DurationToTTIs(iv)
 		}
 	}
 	sampleTTIs := sim.DurationToTTIs(s.cfg.SampleEvery)
 	if s.cfg.CollectSeries {
-		s.rateSeries = make([]*metrics.TimeSeries, len(s.players))
-		s.bufSeries = make([]*metrics.TimeSeries, len(s.players))
-		for i := range s.players {
+		s.rateSeries = make([]*metrics.TimeSeries, len(s.video))
+		s.bufSeries = make([]*metrics.TimeSeries, len(s.video))
+		for i := range s.video {
 			s.rateSeries[i] = &metrics.TimeSeries{}
 			s.bufSeries[i] = &metrics.TimeSeries{}
 		}
@@ -521,9 +443,12 @@ func (s *Sim) Run() (*Result, error) {
 	}
 
 	for tti := int64(0); tti < durTTIs; tti++ {
+		if tti&0x3ff == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		s.env.events.RunDue(tti)
-		for _, f := range s.videoFlows {
-			f.Tick()
+		for _, f := range s.video {
+			f.Transport.Tick()
 		}
 		for _, f := range s.dataFlows {
 			f.Tick()
@@ -533,14 +458,11 @@ func (s *Sim) Run() (*Result, error) {
 		}
 		s.enb.RunTTI(tti)
 
-		if baiTTIs > 0 && tti > 0 && tti%baiTTIs == 0 {
-			if err := s.flareControlTick(time.Duration(tti) * sim.TTI); err != nil {
-				return nil, err
-			}
-		}
-		if epochTTIs > 0 && tti > 0 && tti%epochTTIs == 0 {
-			if err := s.runAvisEpoch(); err != nil {
-				return nil, err
+		for _, g := range s.groups {
+			if g.tickTTIs > 0 && tti > 0 && tti%g.tickTTIs == 0 {
+				if err := g.ctrl.OnBAI(time.Duration(tti) * sim.TTI); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if s.cfg.CollectSeries && tti > 0 && tti%sampleTTIs == 0 {
@@ -548,30 +470,42 @@ func (s *Sim) Run() (*Result, error) {
 		}
 		s.env.clock.Advance()
 	}
-	return s.buildResult(), nil
+	res := s.buildResult()
+	for _, g := range s.groups {
+		if err := g.ctrl.Close(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 func (s *Sim) buildResult() *Result {
 	durSec := s.cfg.Duration.Seconds()
 	res := &Result{Scheme: s.cfg.Scheme}
-	for i, p := range s.players {
-		rates := p.SelectedRates()
-		cr := ClientResult{
-			FlowID:              s.videoBearers[i].ID,
-			AvgRateBps:          metrics.Mean(rates),
-			AvgTputBps:          float64(s.videoFlows[i].DeliveredTotal()) * 8 / durSec,
-			NumChanges:          metrics.CountChanges(rates),
-			Segments:            len(rates),
-			StallSeconds:        p.StallSeconds(),
-			StallCount:          p.StallCount(),
-			StartupDelaySeconds: p.StartupDelaySeconds(),
-			QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
+	for _, g := range s.groups {
+		telemetry, _ := g.ctrl.(driver.FlowTelemetry)
+		for _, f := range g.flows {
+			p := f.Player
+			rates := p.SelectedRates()
+			cr := ClientResult{
+				FlowID:              f.ID,
+				Scheme:              g.scheme,
+				AvgRateBps:          metrics.Mean(rates),
+				AvgTputBps:          float64(f.Transport.DeliveredTotal()) * 8 / durSec,
+				NumChanges:          metrics.CountChanges(rates),
+				Segments:            len(rates),
+				StallSeconds:        p.StallSeconds(),
+				StallCount:          p.StallCount(),
+				StartupDelaySeconds: p.StartupDelaySeconds(),
+				QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
+			}
+			if telemetry != nil {
+				ex := telemetry.FlowExtras(f)
+				cr.FallbackTransitions = ex.FallbackTransitions
+				cr.FallbackIntervals = ex.FallbackIntervals
+			}
+			res.Clients = append(res.Clients, cr)
 		}
-		if i < len(s.plugins) && s.plugins[i] != nil {
-			cr.FallbackTransitions = s.plugins[i].Transitions()
-			cr.FallbackIntervals = s.plugins[i].FallbackIntervals()
-		}
-		res.Clients = append(res.Clients, cr)
 	}
 	for i, f := range s.dataFlows {
 		res.Data = append(res.Data, DataResult{
@@ -583,6 +517,7 @@ func (s *Sim) buildResult() *Result {
 		rates := p.SelectedRates()
 		res.Legacy = append(res.Legacy, ClientResult{
 			FlowID:              s.legacyBearers[i].ID,
+			Scheme:              SchemeFESTIVE,
 			AvgRateBps:          metrics.Mean(rates),
 			AvgTputBps:          float64(s.legacyFlows[i].DeliveredTotal()) * 8 / durSec,
 			NumChanges:          metrics.CountChanges(rates),
@@ -593,10 +528,13 @@ func (s *Sim) buildResult() *Result {
 			QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
 		})
 	}
-	if s.oneAPI != nil {
-		res.SolveTimesSec = s.oneAPI.SolveTimes(s.cellID)
+	for _, g := range s.groups {
+		if ct, ok := g.ctrl.(driver.ControlTelemetry); ok {
+			res.SolveTimesSec = ct.SolveTimes()
+			res.ControlPlane = ct.ControlStats()
+			break
+		}
 	}
-	res.ControlPlane = s.ctrl
 	res.VideoRateSeries = s.rateSeries
 	res.BufferSeries = s.bufSeries
 	res.DataTputSeries = s.dataSeries
@@ -610,4 +548,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return s.Run()
+}
+
+// RunContext is Run with cooperative cancellation (see Sim.RunContext).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunContext(ctx)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/flare-sim/flare/internal/cellsim"
 	"github.com/flare-sim/flare/internal/metrics"
 )
 
@@ -200,6 +201,47 @@ func TestExtensionExperimentsSmoke(t *testing.T) {
 		if len(rep.Tables) == 0 || len(rep.Series) == 0 {
 			t.Fatalf("%s produced no output", id)
 		}
+	}
+}
+
+// TestExtCoexistShape is the acceptance gate for the mixed-scheme
+// coexistence story: in one cell holding 4 FLARE-coordinated and 4
+// conventional FESTIVE players, the coordinated group keeps its GBR
+// guarantees — zero rebuffering — and switches bitrate less than the
+// uncoordinated group chasing its own throughput estimates.
+func TestExtCoexistShape(t *testing.T) {
+	scale := Scale{DurationFactor: 0.2, Runs: 2}
+	results, err := runMany(coexistConfig(scale), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flareStalls, flareChanges, festiveChanges float64
+	var nFlare, nFestive int
+	for _, r := range results {
+		flare := r.ClientsByScheme(cellsim.SchemeFLARE)
+		festive := r.ClientsByScheme(cellsim.SchemeFESTIVE)
+		if len(flare) != 4 || len(festive) != 4 {
+			t.Fatalf("group shapes: %d FLARE, %d FESTIVE (want 4+4)", len(flare), len(festive))
+		}
+		for _, c := range flare {
+			if c.Segments == 0 {
+				t.Errorf("FLARE client %d downloaded nothing", c.FlowID)
+			}
+			flareStalls += c.StallSeconds
+			flareChanges += float64(c.NumChanges)
+			nFlare++
+		}
+		for _, c := range festive {
+			festiveChanges += float64(c.NumChanges)
+			nFestive++
+		}
+	}
+	if flareStalls > 0 {
+		t.Errorf("coordinated FLARE players rebuffered %.1f s total; guarantees should prevent any", flareStalls)
+	}
+	if flareChanges/float64(nFlare) >= festiveChanges/float64(nFestive) {
+		t.Errorf("FLARE switched %.1f times/client vs FESTIVE's %.1f — coordination should switch less",
+			flareChanges/float64(nFlare), festiveChanges/float64(nFestive))
 	}
 }
 

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -91,7 +94,9 @@ func scaled(d time.Duration, scale Scale) time.Duration {
 }
 
 // runMany executes cfg Runs times with distinct seeds (in parallel) and
-// returns the results in run order.
+// returns the results in run order. The first failure cancels every run
+// still in flight; a panicking run is converted to that run's error
+// instead of crashing the whole sweep.
 func runMany(cfg cellsim.Config, scale Scale) ([]*cellsim.Result, error) {
 	s := scale.normalized()
 	results := make([]*cellsim.Result, s.Runs)
@@ -103,6 +108,8 @@ func runMany(cfg cellsim.Config, scale Scale) ([]*cellsim.Result, error) {
 	if workers > s.Runs {
 		workers = s.Runs
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for run := 0; run < s.Runs; run++ {
@@ -112,12 +119,31 @@ func runMany(cfg cellsim.Config, scale Scale) ([]*cellsim.Result, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[run] = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+					cancel()
+				}
+			}()
+			if ctx.Err() != nil {
+				errs[run] = ctx.Err()
+				return
+			}
 			c := cfg
 			c.Seed = baseSeed + uint64(run)*0x9e37
-			results[run], errs[run] = cellsim.Run(c)
+			results[run], errs[run] = cellsim.RunContext(ctx, c)
+			if errs[run] != nil {
+				cancel()
+			}
 		}()
 	}
 	wg.Wait()
+	// Report the first real failure; cancellations are just its fallout.
+	for run, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, fmt.Errorf("experiments: run %d: %w", run, err)
+		}
+	}
 	for run, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: run %d: %w", run, err)
