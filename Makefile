@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check results bench-quick clean
+.PHONY: build test vet race check results bench-quick bench-json bench-check profile clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,22 @@ check: build vet race
 # the bench harness builds and executes, not a timing measurement.
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-json measures the canonical engine benchmark and refreshes the
+# committed BENCH_engine.json (the baseline block is preserved).
+bench-json:
+	$(GO) run ./cmd/flarebench -json BENCH_engine.json
+
+# bench-check is the CI perf gate: fail if the engine benchmark
+# regresses more than 20% simsec/sec against the committed numbers.
+bench-check:
+	$(GO) run ./cmd/flarebench -check-against BENCH_engine.json
+
+# profile runs the engine benchmark with pprof output (cpu.prof,
+# mem.prof) for `go tool pprof`.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkEngineTick -benchtime 10x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
 
 # results regenerates the quick-scale experiment outputs in results/.
 results:

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/flare-sim/flare/internal/benchmarks"
 	"github.com/flare-sim/flare/internal/cellsim"
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/experiments"
@@ -167,21 +168,15 @@ func BenchmarkCellSimAVIS(b *testing.B)    { benchCell(b, cellsim.SchemeAVIS) }
 // BenchmarkCellSimFLARE history when touching the engine or driver
 // interfaces.
 func BenchmarkEngineTick(b *testing.B) {
-	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
-	cfg.Duration = 60 * time.Second
-	cfg.NumVideo = 16
-	cfg.NumData = 4
-	cfg.SegmentDuration = 2 * time.Second
-	cfg.Flare.BAI = 1 * time.Second
-	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 12}
+	// The workload lives in internal/benchmarks so flarebench -json and
+	// the CI regression gate measure exactly this benchmark.
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i + 1)
-		if _, err := cellsim.Run(cfg); err != nil {
+		if _, err := cellsim.Run(benchmarks.EngineTickConfig(uint64(i + 1))); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(60/float64(b.Elapsed().Seconds()/float64(b.N)), "simsec/sec")
+	b.ReportMetric(benchmarks.EngineSimSeconds/float64(b.Elapsed().Seconds()/float64(b.N)), "simsec/sec")
 }
 
 // BenchmarkMixedCell measures the mixed-scheme path: two driver groups

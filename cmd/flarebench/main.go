@@ -4,37 +4,176 @@
 // Usage:
 //
 //	flarebench [-scale quick|full] [-factor F] [-runs N] [-only id,...] [-out dir]
+//	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	flarebench -json BENCH_engine.json
+//	flarebench -check-against BENCH_engine.json
 //
 // Text tables are printed to stdout; per-figure plot data (CSV) and the
 // text views are written under -out (default ./results).
+//
+// -json measures the canonical engine benchmark (the BenchmarkEngineTick
+// workload from internal/benchmarks) and writes its simsec/sec, ns/op
+// and allocs/op to the given file, preserving any committed baseline
+// block. -check-against measures the same workload and exits nonzero if
+// simsec/sec regressed more than 20% against the file's committed
+// current numbers — the CI perf gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
+	"github.com/flare-sim/flare/internal/benchmarks"
+	"github.com/flare-sim/flare/internal/cellsim"
 	"github.com/flare-sim/flare/internal/experiments"
 	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/profiling"
 )
 
 func main() {
 	os.Exit(run())
 }
 
+// benchPoint is one measurement of the engine benchmark.
+type benchPoint struct {
+	Label        string  `json:"label,omitempty"`
+	SimsecPerSec float64 `json:"simsec_per_sec"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH_engine.json schema: the committed pre-change
+// baseline (never overwritten by -json) and the current measurement.
+type benchFile struct {
+	Benchmark string      `json:"benchmark"`
+	Metric    string      `json:"metric"`
+	Baseline  *benchPoint `json:"baseline,omitempty"`
+	Current   *benchPoint `json:"current"`
+}
+
+// measureEngine runs the canonical engine workload under the testing
+// benchmark driver and converts the result to a benchPoint.
+func measureEngine() (benchPoint, error) {
+	var failed error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cellsim.Run(benchmarks.EngineTickConfig(uint64(i + 1))); err != nil {
+				failed = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if failed != nil {
+		return benchPoint{}, failed
+	}
+	ns := res.NsPerOp()
+	return benchPoint{
+		SimsecPerSec: benchmarks.EngineSimSeconds / (float64(ns) / 1e9),
+		NsPerOp:      ns,
+		AllocsPerOp:  res.AllocsPerOp(),
+	}, nil
+}
+
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// runBench handles -json / -check-against and returns the process exit
+// code.
+func runBench(jsonPath, checkPath string) int {
+	cur, err := measureEngine()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: engine benchmark: %v\n", err)
+		return 1
+	}
+	fmt.Printf("BenchmarkEngineTick: %.1f simsec/sec, %d ns/op, %d allocs/op\n",
+		cur.SimsecPerSec, cur.NsPerOp, cur.AllocsPerOp)
+
+	if jsonPath != "" {
+		out := benchFile{Benchmark: "BenchmarkEngineTick", Metric: "simsec/sec", Current: &cur}
+		if prev, err := loadBenchFile(jsonPath); err == nil {
+			out.Baseline = prev.Baseline // the committed baseline is never overwritten
+		}
+		data, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	if checkPath != "" {
+		ref, err := loadBenchFile(checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+			return 1
+		}
+		if ref.Current == nil || ref.Current.SimsecPerSec <= 0 {
+			fmt.Fprintf(os.Stderr, "flarebench: %s has no current measurement to check against\n", checkPath)
+			return 1
+		}
+		floor := 0.8 * ref.Current.SimsecPerSec
+		if cur.SimsecPerSec < floor {
+			fmt.Fprintf(os.Stderr,
+				"flarebench: PERF REGRESSION: %.1f simsec/sec is more than 20%% below the committed %.1f (floor %.1f)\n",
+				cur.SimsecPerSec, ref.Current.SimsecPerSec, floor)
+			return 1
+		}
+		fmt.Printf("perf check OK: %.1f simsec/sec vs committed %.1f (floor %.1f)\n",
+			cur.SimsecPerSec, ref.Current.SimsecPerSec, floor)
+	}
+	return 0
+}
+
 func run() int {
 	var (
-		scaleName = flag.String("scale", "quick", `experiment scale: "quick" or "full" (paper durations, 20 runs)`)
-		factor    = flag.Float64("factor", 0, "override duration factor (1 = paper scale)")
-		runs      = flag.Int("runs", 0, "override runs per data point")
-		only      = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		outDir    = flag.String("out", "results", "output directory for tables and CSV series")
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		plot      = flag.Bool("plot", false, "render ASCII plots of each experiment's series")
+		scaleName  = flag.String("scale", "quick", `experiment scale: "quick" or "full" (paper durations, 20 runs)`)
+		factor     = flag.Float64("factor", 0, "override duration factor (1 = paper scale)")
+		runs       = flag.Int("runs", 0, "override runs per data point")
+		only       = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		outDir     = flag.String("out", "results", "output directory for tables and CSV series")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		plot       = flag.Bool("plot", false, "render ASCII plots of each experiment's series")
+		jsonPath   = flag.String("json", "", "measure the engine benchmark and write BENCH_engine.json-style output here (skips experiments)")
+		checkPath  = flag.String("check-against", "", "measure the engine benchmark and fail on >20% simsec/sec regression vs this file (skips experiments)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+		}
+	}()
+
+	if *jsonPath != "" || *checkPath != "" {
+		return runBench(*jsonPath, *checkPath)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

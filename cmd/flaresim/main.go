@@ -11,6 +11,7 @@
 //	         [-mix "flare:4,festive:4"]
 //	         [-ctrl-loss 0.3] [-ctrl-blackout 60s-90s]
 //	         [-fallback-polls 3] [-fallback-age 4]
+//	         [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -mix runs a mixed-scheme cell: a comma-separated list of
 // scheme:count groups that overrides -scheme/-videos for the video
@@ -32,6 +33,7 @@ import (
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/profiling"
 )
 
 // parseWindows parses comma-separated "from-to" blackout windows, e.g.
@@ -83,8 +85,23 @@ func run() int {
 		ctrlBlackout = flag.String("ctrl-blackout", "", `control-plane blackout window, e.g. "60s-90s" (repeatable via comma: "60s-90s,300s-330s")`)
 		fbPolls      = flag.Int("fallback-polls", 0, "plugin fallback after K consecutive failed polls (0 = default 3)")
 		fbAge        = flag.Int("fallback-age", 0, "plugin fallback after an assignment M BAIs stale (0 = default 4)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flaresim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "flaresim: %v\n", err)
+		}
+	}()
 
 	schemes := map[string]cellsim.Scheme{
 		"flare":   cellsim.SchemeFLARE,

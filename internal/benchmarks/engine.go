@@ -1,0 +1,32 @@
+// Package benchmarks defines the canonical engine benchmark workloads
+// shared by the go-test benchmarks (bench_test.go) and the flarebench
+// -json harness, so the committed BENCH_engine.json numbers and the CI
+// regression gate measure exactly the workload the benchmarks do.
+package benchmarks
+
+import (
+	"time"
+
+	"github.com/flare-sim/flare/internal/cellsim"
+)
+
+// EngineSimSeconds is the simulated duration of one EngineTick
+// iteration; simsec/sec = EngineSimSeconds / wall seconds per op.
+const EngineSimSeconds = 60
+
+// EngineTickConfig returns the engine hot-path workload: a 16-flow
+// FLARE cell with 4 greedy data flows over one simulated minute on a
+// static channel with a 1 s BAI. The greedy data flows keep the cell
+// saturated, so the workload measures the busy path (scheduler, solver,
+// transport, events) rather than the fast-forward idle path.
+func EngineTickConfig(seed uint64) cellsim.Config {
+	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	cfg.Duration = EngineSimSeconds * time.Second
+	cfg.NumVideo = 16
+	cfg.NumData = 4
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Flare.BAI = 1 * time.Second
+	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 12}
+	cfg.Seed = seed
+	return cfg
+}

@@ -202,6 +202,14 @@ type Config struct {
 	CollectSeries bool
 	// SampleEvery is the series sampling period (default 1 s).
 	SampleEvery time.Duration
+
+	// DisableFastForward forces the naive TTI-by-TTI loop instead of the
+	// quiescence-aware kernel that jumps the clock across dead air (no
+	// pending event, no bearer backlog, no flow with an open window and
+	// bytes to send). Fast-forward is byte-exact — Results are identical
+	// either way, which the equivalence tests assert — so this knob
+	// exists for those tests and for debugging, not for correctness.
+	DisableFastForward bool
 }
 
 // DefaultConfig returns a baseline configuration for the given scheme:

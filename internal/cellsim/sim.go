@@ -17,10 +17,16 @@ import (
 	"github.com/flare-sim/flare/internal/transport"
 )
 
-// env adapts the simulation loop to transport.Env.
+// env adapts the simulation loop to transport.Env (and its Waker
+// extension, which feeds the kernel's active-flow tick list).
 type env struct {
 	clock  sim.Clock
 	events sim.EventQueue
+
+	// onFlowWake is invoked when a transport flow transitions from
+	// inactive to active (transport.Waker); the Sim uses it to mark its
+	// tick list stale.
+	onFlowWake func(*transport.Flow)
 }
 
 func (e *env) NowTTI() int64 { return e.clock.TTI() }
@@ -30,6 +36,23 @@ func (e *env) Schedule(delay int64, fn func()) {
 		delay = 1
 	}
 	e.events.Schedule(e.clock.TTI()+delay, fn)
+}
+
+// ScheduleArg implements transport.ArgScheduler: the handle-free,
+// allocation-free path for payload-carrying periodic work (the ACK
+// clock). The queue recycles these events after they fire.
+func (e *env) ScheduleArg(delay int64, fn func(int64), arg int64) {
+	if delay < 1 {
+		delay = 1
+	}
+	e.events.ScheduleArg(e.clock.TTI()+delay, fn, arg)
+}
+
+// FlowActivated implements transport.Waker.
+func (e *env) FlowActivated(f *transport.Flow) {
+	if e.onFlowWake != nil {
+		e.onFlowWake(f)
+	}
 }
 
 // simGroup is one scheme's slice of the video population: the driver
@@ -68,11 +91,30 @@ type Sim struct {
 	legacyFlows   []*transport.Flow
 	legacyPlayers []*has.Player
 
+	// allFlows is every transport flow in canonical (flow-ID) order:
+	// video, then data, then legacy. tickList is the subset with bytes to
+	// send — the only flows whose Tick can act. tickDirty marks the list
+	// stale: set when a flow activates (via the env's Waker hook) or when
+	// a listed flow is observed inactive, and serviced by rebuilding from
+	// allFlows, which keeps the tick order canonical. Tick order across
+	// flows is immaterial for byte-exactness (a flow's Tick touches only
+	// its own state and bearer, and draws no RNG), but a canonical order
+	// keeps the engine easy to reason about.
+	allFlows  []*transport.Flow
+	tickList  []*transport.Flow
+	tickDirty bool
+
 	// series state
 	rateSeries    []*metrics.TimeSeries
 	bufSeries     []*metrics.TimeSeries
 	dataSeries    []*metrics.TimeSeries
 	lastDataBytes []int64
+
+	// statsScratch is the report map reused across CollectStats calls.
+	// Both consumers (the OneAPI server's RunBAI and the AVIS epoch) read
+	// it synchronously and retain nothing, so clearing and refilling one
+	// map per BAI is safe and keeps the control path allocation-free.
+	statsScratch map[int]core.FlowStats
 }
 
 // Engine interface conformance: Sim is the view drivers operate on.
@@ -100,6 +142,8 @@ func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 	cfg.NumVideo = totalCount(groups)
 
 	s := &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	s.tickDirty = true
+	s.env.onFlowWake = func(*transport.Flow) { s.tickDirty = true }
 
 	numUEs := cfg.NumVideo + cfg.NumData + cfg.NumLegacy
 	ch, err := s.buildChannel(numUEs)
@@ -280,6 +324,7 @@ func (s *Sim) buildVideo() error {
 			}
 			g.flows = append(g.flows, f)
 			s.video = append(s.video, f)
+			s.allFlows = append(s.allFlows, flow)
 			id++
 		}
 	}
@@ -302,6 +347,7 @@ func (s *Sim) buildData() error {
 		}
 		s.dataBearers = append(s.dataBearers, b)
 		s.dataFlows = append(s.dataFlows, flow)
+		s.allFlows = append(s.allFlows, flow)
 	}
 	return nil
 }
@@ -335,6 +381,7 @@ func (s *Sim) buildLegacy() error {
 		s.legacyBearers = append(s.legacyBearers, b)
 		s.legacyFlows = append(s.legacyFlows, flow)
 		s.legacyPlayers = append(s.legacyPlayers, player)
+		s.allFlows = append(s.allFlows, flow)
 	}
 	return nil
 }
@@ -343,7 +390,11 @@ func (s *Sim) buildLegacy() error {
 // per-bearer accounting windows and attach the current-MCS hint — the
 // Statistics Reporter's report for one interval.
 func (s *Sim) CollectStats(flows []*driver.Flow) map[int]core.FlowStats {
-	stats := make(map[int]core.FlowStats, len(flows))
+	if s.statsScratch == nil {
+		s.statsScratch = make(map[int]core.FlowStats, len(flows))
+	}
+	stats := s.statsScratch
+	clear(stats)
 	for _, f := range flows {
 		w := f.Bearer.CollectWindow()
 		stats[f.ID] = core.FlowStats{
@@ -442,33 +493,14 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 		s.lastDataBytes = make([]int64, len(s.dataFlows))
 	}
 
-	for tti := int64(0); tti < durTTIs; tti++ {
-		if tti&0x3ff == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		s.env.events.RunDue(tti)
-		for _, f := range s.video {
-			f.Transport.Tick()
-		}
-		for _, f := range s.dataFlows {
-			f.Tick()
-		}
-		for _, f := range s.legacyFlows {
-			f.Tick()
-		}
-		s.enb.RunTTI(tti)
-
-		for _, g := range s.groups {
-			if g.tickTTIs > 0 && tti > 0 && tti%g.tickTTIs == 0 {
-				if err := g.ctrl.OnBAI(time.Duration(tti) * sim.TTI); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if s.cfg.CollectSeries && tti > 0 && tti%sampleTTIs == 0 {
-			s.sample(float64(tti) / lte.TTIsPerSecond)
-		}
-		s.env.clock.Advance()
+	var err error
+	if s.cfg.DisableFastForward || !s.enb.CanFastForward() {
+		err = s.runNaive(ctx, durTTIs, sampleTTIs)
+	} else {
+		err = s.runFast(ctx, durTTIs, sampleTTIs)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res := s.buildResult()
 	for _, g := range s.groups {
@@ -477,6 +509,146 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// runHooks runs the post-radio per-TTI work shared by both loops: group
+// control ticks (BAIs) and series sampling.
+func (s *Sim) runHooks(tti, sampleTTIs int64) error {
+	for _, g := range s.groups {
+		if g.tickTTIs > 0 && tti > 0 && tti%g.tickTTIs == 0 {
+			if err := g.ctrl.OnBAI(time.Duration(tti) * sim.TTI); err != nil {
+				return err
+			}
+		}
+	}
+	if s.cfg.CollectSeries && tti > 0 && tti%sampleTTIs == 0 {
+		s.sample(float64(tti) / lte.TTIsPerSecond)
+	}
+	return nil
+}
+
+// runNaive is the reference TTI-by-TTI loop: every TTI runs due events,
+// ticks every flow, runs the radio, and fires the control hooks. It is
+// the semantic baseline the fast-forward kernel must match byte for
+// byte, kept selectable via Config.DisableFastForward (and used
+// automatically for channel models without catch-up support).
+func (s *Sim) runNaive(ctx context.Context, durTTIs, sampleTTIs int64) error {
+	for tti := int64(0); tti < durTTIs; tti++ {
+		if tti&0x3ff == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		s.env.events.RunDue(tti)
+		for _, f := range s.allFlows {
+			f.Tick()
+		}
+		s.enb.RunTTI(tti)
+		if err := s.runHooks(tti, sampleTTIs); err != nil {
+			return err
+		}
+		s.env.clock.Advance()
+	}
+	return nil
+}
+
+// runFast is the quiescence-aware kernel. Each executed TTI is processed
+// exactly like runNaive; the difference is that after the TTI's hooks,
+// when the cell is provably inert — every flow quiescent and no bearer
+// backlogged — the clock jumps straight to the next TTI at which
+// anything can happen: the earliest pending event, the next group
+// control tick, the next series sample, or the end of the run. The
+// skipped span is replayed in aggregate (channel catch-up, idle bearer
+// accounting), so results are byte-identical to the naive loop.
+//
+// Quiescence is decided after RunTTI and the hooks because both can
+// re-arm flows mid-TTI: radio delivery fires OnDeliver → player
+// progress → a new segment request → Flow.Send.
+func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
+	for tti := int64(0); tti < durTTIs; {
+		if tti&0x3ff == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		s.env.events.RunDue(tti)
+		if s.tickDirty {
+			s.rebuildTickList()
+		}
+		for _, f := range s.tickList {
+			if f.Active() {
+				f.Tick()
+			} else {
+				s.tickDirty = true
+			}
+		}
+		s.enb.RunTTI(tti)
+		if err := s.runHooks(tti, sampleTTIs); err != nil {
+			return err
+		}
+
+		next := tti + 1
+		if s.quiescent() {
+			if w := s.wakeTTI(tti, durTTIs, sampleTTIs); w > next {
+				s.enb.FastForwardIdle(tti, w)
+				next = w
+			}
+		}
+		tti = next
+		s.env.clock.AdvanceTo(tti)
+	}
+	return nil
+}
+
+// rebuildTickList recomputes the active-flow subset in canonical order.
+func (s *Sim) rebuildTickList() {
+	s.tickList = s.tickList[:0]
+	for _, f := range s.allFlows {
+		if f.Active() {
+			s.tickList = append(s.tickList, f)
+		}
+	}
+	s.tickDirty = false
+}
+
+// quiescent reports whether skipping TTIs is provably a no-op right now:
+// every active flow's Tick can't act (closed window) and no bearer has
+// queued bytes, so only a scheduled event or a periodic hook can change
+// any state. Flows outside the tick list are inactive, hence quiescent
+// by definition; the list is refreshed first so no newly woken flow is
+// missed.
+func (s *Sim) quiescent() bool {
+	if s.tickDirty {
+		s.rebuildTickList()
+	}
+	for _, f := range s.tickList {
+		if !f.Quiescent() {
+			return false
+		}
+	}
+	return s.enb.Idle()
+}
+
+// wakeTTI returns the next TTI at which anything observable can happen
+// after t: the earliest pending event, each group's next control tick,
+// the next series sample, or the end of the run — whichever comes first.
+func (s *Sim) wakeTTI(t, durTTIs, sampleTTIs int64) int64 {
+	w := durTTIs
+	if ev, ok := s.env.events.NextDeadline(); ok && ev < w {
+		w = ev
+	}
+	for _, g := range s.groups {
+		if g.tickTTIs > 0 {
+			if n := (t/g.tickTTIs + 1) * g.tickTTIs; n < w {
+				w = n
+			}
+		}
+	}
+	if s.cfg.CollectSeries && sampleTTIs > 0 {
+		if n := (t/sampleTTIs + 1) * sampleTTIs; n < w {
+			w = n
+		}
+	}
+	if w <= t {
+		w = t + 1 // defensive: never move backwards
+	}
+	return w
 }
 
 func (s *Sim) buildResult() *Result {

@@ -18,6 +18,28 @@ import (
 type ExactSolver struct {
 	// Bins is the capacity discretisation granularity.
 	Bins int
+
+	// DP scratch, grown on demand and reused across Solve calls so the
+	// per-BAI solve allocates only its returned Solution. An ExactSolver
+	// is therefore not safe for concurrent Solve calls; the controller
+	// owns one per cell and serialises BAIs, which is the contract
+	// throughout this codebase.
+	costs  [][]int
+	utils  [][]float64
+	costsB []int
+	utilsB []float64
+	dp     []float64
+	nxt    []float64
+	choice []int8 // flattened n x (bins+1)
+
+	// dtCache memoises DataTerm(j/bins) for j in [0, bins]: the curve
+	// depends only on (NumDataFlows, Alpha, bins), which are constant
+	// across the BAIs of a run, and recomputing 4001 logs per solve was
+	// a measurable slice of the controller's hot path. The cached values
+	// are the exact floats DataTerm returns, so reuse is bit-identical.
+	dtCache []float64
+	dtData  int
+	dtAlpha float64
 }
 
 // NewExactSolver returns an ExactSolver with the default resolution.
@@ -38,15 +60,31 @@ func (s *ExactSolver) Solve(p *Problem) (Solution, error) {
 	}
 
 	binRBs := p.TotalRBs / float64(bins)
-	// cost in bins (rounded up) per flow per level.
-	costs := make([][]int, n)
-	utils := make([][]float64, n)
+	// cost in bins (rounded up) per flow per level. The per-flow slices
+	// are carved out of grow-only scratch buffers; every entry is
+	// overwritten before use, so reuse cannot leak state between solves.
+	levelsTotal := 0
+	for u := range p.Flows {
+		levelsTotal += p.Flows[u].MaxLevel() + 1
+	}
+	if cap(s.costsB) < levelsTotal {
+		s.costsB = make([]int, levelsTotal)
+		s.utilsB = make([]float64, levelsTotal)
+	}
+	if cap(s.costs) < n {
+		s.costs = make([][]int, n)
+		s.utils = make([][]float64, n)
+	}
+	costs := s.costs[:n]
+	utils := s.utils[:n]
+	off := 0
 	feasible := true
 	for u := range p.Flows {
 		f := &p.Flows[u]
 		maxL := f.MaxLevel()
-		costs[u] = make([]int, maxL+1)
-		utils[u] = make([]float64, maxL+1)
+		costs[u] = s.costsB[off : off+maxL+1 : off+maxL+1]
+		utils[u] = s.utilsB[off : off+maxL+1 : off+maxL+1]
+		off += maxL + 1
 		for l := 0; l <= maxL; l++ {
 			c := p.CostRBs(u, f.Ladder.Rate(l))
 			costs[u][l] = int(math.Ceil(c / binRBs))
@@ -65,42 +103,109 @@ func (s *ExactSolver) Solve(p *Problem) (Solution, error) {
 	negInf := math.Inf(-1)
 	// dp[j]: max total utility using exactly <= j bins, with choice[u][j]
 	// recording flow u's level in the best assignment reaching j.
-	dp := make([]float64, bins+1)
-	next := make([]float64, bins+1)
-	choice := make([][]int8, n)
-	for u := range choice {
-		choice[u] = make([]int8, bins+1)
+	if cap(s.dp) < bins+1 {
+		s.dp = make([]float64, bins+1)
+		s.nxt = make([]float64, bins+1)
 	}
+	if cap(s.choice) < n*(bins+1) {
+		s.choice = make([]int8, n*(bins+1))
+	}
+	dp, next := s.dp[:bins+1], s.nxt[:bins+1]
+	choice := s.choice[:n*(bins+1)]
 	for j := range dp {
 		dp[j] = 0
 	}
+	// sat is the saturation bound after the flows processed so far: the
+	// sum of their max-level costs, capped at bins. For j >= sat every
+	// level's lookback dp[j-c] reads the (inductively constant) saturated
+	// region of the previous row, so value and first-wins argmax are the
+	// same for all such j — the tail is filled by copying the entry at
+	// the bound instead of recomputing it, bit-identically.
+	sat := 0
 	for u := 0; u < n; u++ {
-		for j := 0; j <= bins; j++ {
-			best := negInf
-			bestL := int8(-1)
-			for l, c := range costs[u] {
-				if c > j {
-					break // costs are ascending in l
-				}
-				if v := dp[j-c] + utils[u][l]; v > best {
-					best = v
-					bestL = int8(l)
+		cu, uu := costs[u], utils[u]
+		chu := choice[u*(bins+1) : (u+1)*(bins+1)]
+		sat += cu[len(cu)-1] // costs ascend in l, so the last is the max
+		if sat > bins {
+			sat = bins
+		}
+		bound := sat
+		// Level-outer sweep: for each capacity j the argmax over levels is
+		// taken in ascending l with strict >, which visits exactly the
+		// candidates of the natural per-j scan in the same order — ties
+		// resolve to the same level, so the result is bit-identical to the
+		// j-outer formulation while keeping the inner loop branch-light
+		// and stride-1.
+		//
+		// Level 0 is peeled: below its cost the row is unreachable, at or
+		// above it the level-0 candidate always replaces the -inf
+		// initialiser, so both regions are written directly instead of
+		// init-then-compare. (Where dp itself is -inf the peel records
+		// choice 0 instead of -1; such cells carry value -inf and can
+		// never lie on the finite backtrack path, so the solution is
+		// unchanged.)
+		c0, u0 := cu[0], uu[0]
+		for j := 0; j < c0; j++ {
+			next[j] = negInf
+			chu[j] = -1
+		}
+		{
+			dpc := dp[: bound+1-c0 : bound+1-c0]
+			nx := next[c0 : bound+1 : bound+1]
+			ch := chu[c0 : bound+1 : bound+1]
+			for j, dv := range dpc {
+				nx[j] = dv + u0
+				ch[j] = 0
+			}
+		}
+		for l := 1; l < len(cu); l++ {
+			c := cu[l]
+			if c > bound {
+				break // costs are ascending in l
+			}
+			ul := uu[l]
+			l8 := int8(l)
+			dpc := dp[: bound+1-c : bound+1-c]
+			nx := next[c : bound+1 : bound+1]
+			ch := chu[c : bound+1 : bound+1]
+			for j, dv := range dpc {
+				if v := dv + ul; v > nx[j] {
+					nx[j] = v
+					ch[j] = l8
 				}
 			}
-			next[j] = best
-			choice[u][j] = bestL
+		}
+		// Saturated tail: identical to the entry at the bound.
+		if bound < bins {
+			vn, vc := next[bound], chu[bound]
+			for j := bound + 1; j <= bins; j++ {
+				next[j] = vn
+				chu[j] = vc
+			}
 		}
 		dp, next = next, dp
 	}
 
-	// Pick the bucket count that maximises utility + data term.
+	// Pick the bucket count that maximises utility + data term. The
+	// data-term curve over the bucket grid is memoised across solves
+	// (see dtCache).
+	if len(s.dtCache) != bins+1 || s.dtData != p.NumDataFlows || s.dtAlpha != p.Alpha {
+		if cap(s.dtCache) < bins+1 {
+			s.dtCache = make([]float64, bins+1)
+		}
+		s.dtCache = s.dtCache[:bins+1]
+		for j := 0; j <= bins; j++ {
+			s.dtCache[j] = p.DataTerm(float64(j) / float64(bins))
+		}
+		s.dtData, s.dtAlpha = p.NumDataFlows, p.Alpha
+	}
 	bestObj := negInf
 	bestJ := -1
 	for j := 0; j <= bins; j++ {
 		if dp[j] == negInf {
 			continue
 		}
-		obj := dp[j] + p.DataTerm(float64(j)/float64(bins))
+		obj := dp[j] + s.dtCache[j]
 		if obj > bestObj {
 			bestObj = obj
 			bestJ = j
@@ -110,11 +215,12 @@ func (s *ExactSolver) Solve(p *Problem) (Solution, error) {
 		return p.solutionFor(p.lowestLevels(), false), nil
 	}
 
-	// Backtrack the choices.
+	// Backtrack the choices. levels is freshly allocated because the
+	// returned Solution retains it.
 	levels := make([]int, n)
 	j := bestJ
 	for u := n - 1; u >= 0; u-- {
-		l := choice[u][j]
+		l := choice[u*(bins+1)+j]
 		if l < 0 {
 			return Solution{}, fmt.Errorf("core: DP backtrack failed at flow %d", u)
 		}

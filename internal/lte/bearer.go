@@ -77,6 +77,19 @@ type Bearer struct {
 	mbrCredit  float64 // token bucket for strict MBR enforcement
 	mbrPrimed  bool
 	everServed bool
+
+	// Lazily cached per-TTI derivatives of GBRBits/MBRBits, keyed on the
+	// rate they were derived from so direct mutation of the public
+	// fields is picked up. Each cached value is produced by exactly the
+	// expression tick used to evaluate inline, so reuse is
+	// bit-identical; caching just removes several FP divisions from a
+	// function that runs once per bearer per TTI.
+	gbrRefBits float64
+	gbrPerTTI  float64 // GBRBits / 8 / TTIsPerSecond
+	gbrLimit   float64 // GBRBits / 8
+	mbrRefBits float64
+	mbrPerTTI  float64 // MBRBits / 8 / TTIsPerSecond
+	mbrBurst   float64 // mbrBurstBytes(MBRBits)
 }
 
 // Enqueue adds bytes to the bearer queue and returns the number of bytes
@@ -147,31 +160,70 @@ func (b *Bearer) tick(servedBits float64) {
 	b.avgTput += (instant - b.avgTput) / avgTputTTIs
 	b.fastTput += (instant - b.fastTput) / fastTputTTIs
 	if b.GBRBits > 0 {
+		if b.GBRBits != b.gbrRefBits {
+			b.gbrRefBits = b.GBRBits
+			b.gbrPerTTI = b.GBRBits / 8 / TTIsPerSecond
+			b.gbrLimit = b.GBRBits / 8
+		}
 		// Accrue the GBR debt in bytes and pay it down with service.
-		b.gbrCredit += b.GBRBits / 8 / TTIsPerSecond
+		b.gbrCredit += b.gbrPerTTI
 		b.gbrCredit -= servedBits / 8
 		// Don't bank more than one second of credit, and don't let
 		// surplus service turn into unbounded negative credit either.
-		if limit := b.GBRBits / 8; b.gbrCredit > limit {
-			b.gbrCredit = limit
-		} else if b.gbrCredit < -limit {
-			b.gbrCredit = -limit
+		if b.gbrCredit > b.gbrLimit {
+			b.gbrCredit = b.gbrLimit
+		} else if b.gbrCredit < -b.gbrLimit {
+			b.gbrCredit = -b.gbrLimit
 		}
 	} else {
 		b.gbrCredit = 0
 	}
 	if b.MBRBits > 0 {
+		if b.MBRBits != b.mbrRefBits {
+			b.mbrRefBits = b.MBRBits
+			b.mbrPerTTI = b.MBRBits / 8 / TTIsPerSecond
+			b.mbrBurst = mbrBurstBytes(b.MBRBits)
+		}
 		if !b.mbrPrimed {
 			b.mbrPrimed = true
-			b.mbrCredit = mbrBurstBytes(b.MBRBits)
+			b.mbrCredit = b.mbrBurst
 		}
-		b.mbrCredit += b.MBRBits / 8 / TTIsPerSecond
+		b.mbrCredit += b.mbrPerTTI
 		b.mbrCredit -= servedBits / 8
-		if burst := mbrBurstBytes(b.MBRBits); b.mbrCredit > burst {
-			b.mbrCredit = burst
+		if b.mbrCredit > b.mbrBurst {
+			b.mbrCredit = b.mbrBurst
 		}
 	} else {
 		b.mbrPrimed = false
+	}
+}
+
+// tickIdle replays k idle TTIs (tick(0) k times) — the fast-forward
+// catch-up for a bearer that was neither enqueued into nor served while
+// the kernel skipped dead TTIs.
+//
+// Determinism is the contract here: results must be byte-identical to
+// calling tick(0) k times, so no closed form (pow-based EWMA decay,
+// multiply-accumulate credits) is admissible — IEEE-754 rounding makes
+// a*(1-1/N)^k differ from the iterated a -= a/N in the last bits. What
+// IS admissible is fixed-point detection: tick(0) is a deterministic
+// function of the bearer's accounting state, so the first iteration
+// that leaves that state bit-identical proves every further iteration
+// is a no-op and the remaining k can be dropped. In practice the EWMAs
+// hit zero (through the denormals) and the GBR/MBR credits saturate at
+// their clamps within a bounded number of steps, so long skips cost far
+// less than k iterations.
+func (b *Bearer) tickIdle(k int64) {
+	for i := int64(0); i < k; i++ {
+		prevAvg, prevFast := b.avgTput, b.fastTput
+		prevGBR, prevMBR := b.gbrCredit, b.mbrCredit
+		prevPrimed := b.mbrPrimed
+		b.tick(0)
+		if b.avgTput == prevAvg && b.fastTput == prevFast &&
+			b.gbrCredit == prevGBR && b.mbrCredit == prevMBR &&
+			b.mbrPrimed == prevPrimed {
+			return // fixed point: all further idle ticks are no-ops
+		}
 	}
 }
 

@@ -14,6 +14,22 @@ type Channel interface {
 	NumUEs() int
 }
 
+// ChannelCatchUp is the optional fast-forward extension of Channel: a
+// channel that implements it can advance across a span of TTIs during
+// which nothing queried it, instead of being Updated once per TTI.
+//
+// CatchUp(fromTTI, toTTI) must leave the channel in a state
+// byte-identical (including any RNG stream consumption) to calling
+// Update(t) for every t in (fromTTI, toTTI) exclusive; the kernel then
+// calls Update(toTTI) itself on the wake TTI. Channels whose Update is
+// a pure function of the TTI index implement this as a no-op; stateful
+// channels (e.g. the mobility random walk) replay their internal step
+// boundaries. The simulation kernel only fast-forwards cells whose
+// channel implements this interface.
+type ChannelCatchUp interface {
+	CatchUp(fromTTI, toTTI int64)
+}
+
 // StaticChannel gives every UE a fixed iTbs — the paper's static testbed
 // scenario ("we set the iTbs value to 2").
 type StaticChannel struct {
@@ -43,6 +59,9 @@ func NewUniformStaticChannel(n, iTbs int) *StaticChannel {
 
 // Update implements Channel; static channels never change.
 func (c *StaticChannel) Update(int64) {}
+
+// CatchUp implements ChannelCatchUp; static channels never change.
+func (c *StaticChannel) CatchUp(int64, int64) {}
 
 // ITbs implements Channel.
 func (c *StaticChannel) ITbs(ue int) int { return c.perUE[ue] }
@@ -111,6 +130,11 @@ func (c *CyclicChannel) valueAt(tti int64) int {
 	return ClampITbs(c.Min + int(frac*span+0.5))
 }
 
+// CatchUp implements ChannelCatchUp: Update is a pure function of the
+// TTI index, so skipped TTIs leave no residue — the wake-TTI Update
+// recomputes everything.
+func (c *CyclicChannel) CatchUp(int64, int64) {}
+
 // ITbs implements Channel.
 func (c *CyclicChannel) ITbs(ue int) int { return c.current[ue] }
 
@@ -156,6 +180,10 @@ func (c *TraceChannel) Update(tti int64) {
 		c.current[ue] = tr[int(idx%int64(len(tr)))]
 	}
 }
+
+// CatchUp implements ChannelCatchUp: trace playback is a pure function
+// of the TTI index.
+func (c *TraceChannel) CatchUp(int64, int64) {}
 
 // ITbs implements Channel.
 func (c *TraceChannel) ITbs(ue int) int { return c.current[ue] }

@@ -9,12 +9,20 @@ type ENodeB struct {
 	channel  Channel
 	sched    Scheduler
 	bearers  []*Bearer
+	byID     map[int]*Bearer
 	rbgSizes []int
 
-	// scratch buffers reused across TTIs to avoid per-TTI allocation.
+	// flowStates is a persistent per-bearer scratch slice, parallel to
+	// bearers: the Bearer pointer and index are written once at AddBearer
+	// time, so the per-TTI refresh only touches the volatile fields
+	// (iTbs, backlog, grant) and only for backlogged bearers. active is
+	// the subset handed to the scheduler, rebuilt each TTI.
 	flowStates []FlowState
-	flowPtrs   []*FlowState
-	served     []float64
+	active     []*FlowState
+	// served accumulates the bits served per bearer within a TTI; each
+	// entry is re-zeroed as it is consumed by the tick loop, so the
+	// slice never needs a bulk memclear.
+	served []float64
 }
 
 // NewENodeB creates a cell with the given channel and scheduler.
@@ -22,6 +30,7 @@ func NewENodeB(ch Channel, sched Scheduler) *ENodeB {
 	return &ENodeB{
 		channel:  ch,
 		sched:    sched,
+		byID:     make(map[int]*Bearer),
 		rbgSizes: RBGSizes(),
 	}
 }
@@ -36,26 +45,34 @@ func (e *ENodeB) Scheduler() Scheduler { return e.sched }
 func (e *ENodeB) Channel() Channel { return e.channel }
 
 // AddBearer registers a bearer with the cell and returns it. The UE
-// index must be valid for the channel model.
+// index must be valid for the channel model. The bearer is indexed by ID
+// so BearerByID (the PCEF pathway, hit on every GBR update) stays O(1);
+// on a duplicate ID the first registration wins, preserving the old
+// linear-scan semantics.
 func (e *ENodeB) AddBearer(b *Bearer) (*Bearer, error) {
 	if b.UE < 0 || b.UE >= e.channel.NumUEs() {
 		return nil, fmt.Errorf("lte: bearer %d references UE %d, channel has %d UEs", b.ID, b.UE, e.channel.NumUEs())
 	}
+	idx := len(e.bearers)
 	e.bearers = append(e.bearers, b)
+	e.flowStates = append(e.flowStates, FlowState{Bearer: b, idx: idx})
+	e.served = append(e.served, 0)
+	if e.byID == nil {
+		e.byID = make(map[int]*Bearer)
+	}
+	if _, dup := e.byID[b.ID]; !dup {
+		e.byID[b.ID] = b
+	}
 	return b, nil
 }
 
 // Bearers returns the registered bearers. The slice must not be modified.
 func (e *ENodeB) Bearers() []*Bearer { return e.bearers }
 
-// BearerByID returns the bearer with the given ID, or nil.
+// BearerByID returns the bearer with the given ID, or nil. O(1) via the
+// index maintained by AddBearer.
 func (e *ENodeB) BearerByID(id int) *Bearer {
-	for _, b := range e.bearers {
-		if b.ID == id {
-			return b
-		}
-	}
-	return nil
+	return e.byID[id]
 }
 
 // SetGBR updates a bearer's guaranteed bit rate — the PCEF/Continuous GBR
@@ -93,37 +110,26 @@ type TTIResult struct {
 func (e *ENodeB) RunTTI(tti int64) TTIResult {
 	e.channel.Update(tti)
 
-	if cap(e.flowStates) < len(e.bearers) {
-		e.flowStates = make([]FlowState, len(e.bearers))
-		e.flowPtrs = make([]*FlowState, 0, len(e.bearers))
-		e.served = make([]float64, len(e.bearers))
-	}
-	e.flowStates = e.flowStates[:len(e.bearers)]
-	e.flowPtrs = e.flowPtrs[:0]
-	e.served = e.served[:len(e.bearers)]
-	for i := range e.served {
-		e.served[i] = 0
-	}
-
-	// Build the schedulable set: bearers with backlog.
+	// Build the schedulable set: bearers with backlog. Idle bearers'
+	// FlowStates are not touched at all — only the volatile fields of
+	// active flows are refreshed (Bearer and idx are fixed at AddBearer).
+	e.active = e.active[:0]
 	for i, b := range e.bearers {
-		iTbs := e.channel.ITbs(b.UE)
-		e.flowStates[i] = FlowState{
-			Bearer:    b,
-			ITbs:      iTbs,
-			BitsPerRB: BitsPerRB(iTbs),
-			remaining: b.Backlog(),
-			idx:       i,
+		if b.queue <= 0 {
+			continue
 		}
-		if b.Backlog() > 0 {
-			e.flowPtrs = append(e.flowPtrs, &e.flowStates[i])
-		}
+		f := &e.flowStates[i]
+		f.ITbs = e.channel.ITbs(b.UE)
+		f.BitsPerRB = BitsPerRB(f.ITbs)
+		f.remaining = b.queue
+		f.granted = 0
+		e.active = append(e.active, f)
 	}
 
 	var res TTIResult
-	if len(e.flowPtrs) > 0 {
-		e.sched.Allocate(tti, e.flowPtrs, e.rbgSizes)
-		for _, f := range e.flowPtrs {
+	if len(e.active) > 0 {
+		e.sched.Allocate(tti, e.active, e.rbgSizes)
+		for _, f := range e.active {
 			if f.granted == 0 {
 				continue
 			}
@@ -135,9 +141,50 @@ func (e *ENodeB) RunTTI(tti int64) TTIResult {
 		}
 	}
 
-	// Throughput averages decay every TTI for every bearer.
+	// Throughput averages decay every TTI for every bearer; re-zero each
+	// served entry as it is consumed so the next TTI starts clean.
 	for i, b := range e.bearers {
 		b.tick(e.served[i])
+		e.served[i] = 0
 	}
 	return res
+}
+
+// Idle reports whether no bearer has queued bytes — together with an
+// inert transport layer and an empty event horizon, the condition under
+// which the kernel may fast-forward past this cell's TTIs.
+func (e *ENodeB) Idle() bool {
+	for _, b := range e.bearers {
+		if b.queue > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CanFastForward reports whether the cell's channel model supports
+// byte-exact catch-up over skipped TTIs.
+func (e *ENodeB) CanFastForward() bool {
+	_, ok := e.channel.(ChannelCatchUp)
+	return ok
+}
+
+// FastForwardIdle replays the effect of RunTTI for every TTI in
+// (fromTTI, toTTI) exclusive, under the precondition that the cell was
+// idle for the whole span (no backlog, so no scheduling and no service).
+// The channel catches up its internal state (including RNG consumption)
+// and every bearer replays its idle accounting decay. The kernel calls
+// RunTTI(toTTI) itself on the wake TTI. Results are byte-identical to
+// the naive per-TTI loop.
+func (e *ENodeB) FastForwardIdle(fromTTI, toTTI int64) {
+	if cc, ok := e.channel.(ChannelCatchUp); ok {
+		cc.CatchUp(fromTTI, toTTI)
+	}
+	k := toTTI - fromTTI - 1
+	if k <= 0 {
+		return
+	}
+	for _, b := range e.bearers {
+		b.tickIdle(k)
+	}
 }

@@ -206,6 +206,18 @@ func (c *MobilityChannel) refreshITbs(u *ueState) {
 	u.currentITb = ITbsForSINR(sinr)
 }
 
+// CatchUp implements ChannelCatchUp. The random walk is stateful — each
+// position-step boundary consumes RNG draws — so fast-forwarding must
+// replay every boundary the naive loop would have crossed in
+// (fromTTI, toTTI) exclusive. Intermediate non-boundary TTIs only
+// advance lastTTI, which the boundary replays subsume.
+func (c *MobilityChannel) CatchUp(fromTTI, toTTI int64) {
+	step := c.cfg.PositionStepTTIs
+	for b := (fromTTI/step + 1) * step; b < toTTI; b += step {
+		c.Update(b)
+	}
+}
+
 // ITbs implements Channel.
 func (c *MobilityChannel) ITbs(ue int) int { return c.ues[ue].currentITb }
 

@@ -18,7 +18,24 @@ type FlowState struct {
 	granted int
 	// idx is the bearer's index in the eNodeB's bearer slice.
 	idx int
+
+	// pf caches the PF metric for the TTI. The metric's inputs (iTbs and
+	// the average-throughput EWMA) are constant within a TTI — the EWMA
+	// only moves in Bearer.tick, after allocation — so computing it once
+	// per Allocate call is byte-identical to recomputing it per RBG.
+	pf float64
+	// credit and inGBRSet are TwoPhaseGBRScheduler scratch: the phase-1
+	// GBR byte credit still owed this TTI, valid only when inGBRSet.
+	// Keeping them inline avoids the per-TTI map the scheduler used to
+	// allocate on the hottest path in the simulator.
+	credit   float64
+	inGBRSet bool
 }
+
+// Granted returns the number of RBs granted to this flow in the current
+// TTI. It is how callers (and tests) observe an Allocate outcome now that
+// Allocate no longer materialises a per-TTI grant slice.
+func (f *FlowState) Granted() int { return f.granted }
 
 // grantedBytes returns the byte capacity of n RBs at this flow's MCS.
 func (f *FlowState) grantBytes(nRB int) int64 {
@@ -48,13 +65,16 @@ func (f *FlowState) pfMetric() float64 {
 }
 
 // Scheduler allocates the TTI's resource block groups among flows.
-// Implementations mutate the FlowState grant fields via grant().
+// Implementations mutate the FlowState grant fields via grant(); callers
+// read the outcome back through FlowState.Granted. Returning a fresh
+// grant slice per TTI was the single largest allocation site in the
+// engine, so the interface is deliberately allocation-free.
 type Scheduler interface {
 	// Name identifies the scheduler in logs and experiment output.
 	Name() string
-	// Allocate distributes the RBGs in rbgSizes among flows, returning
-	// the number of RBs granted to each flow (indexed like flows).
-	Allocate(tti int64, flows []*FlowState, rbgSizes []int) []int
+	// Allocate distributes the RBGs in rbgSizes among flows, recording
+	// each flow's share in its granted field.
+	Allocate(tti int64, flows []*FlowState, rbgSizes []int)
 }
 
 // grant gives one RBG to a flow, updating its intra-TTI bookkeeping.
@@ -63,13 +83,12 @@ func grant(f *FlowState, rbs int) {
 	f.remaining -= f.grantBytes(rbs)
 }
 
-// grants materialises the per-flow RB counts after allocation.
-func grants(flows []*FlowState) []int {
-	out := make([]int, len(flows))
-	for i, f := range flows {
-		out[i] = f.granted
+// cachePF snapshots every flow's PF metric for the TTI. Called at the
+// top of each Allocate implementation that consults pickMaxPF.
+func cachePF(flows []*FlowState) {
+	for _, f := range flows {
+		f.pf = f.pfMetric()
 	}
-	return out
 }
 
 // PFScheduler is the classic proportional-fair scheduler: each RBG goes
@@ -83,20 +102,30 @@ var _ Scheduler = (*PFScheduler)(nil)
 func (PFScheduler) Name() string { return "pf" }
 
 // Allocate implements Scheduler.
-func (PFScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+func (PFScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) {
+	cachePF(flows)
+	// The PF winner is sticky within a TTI: pf is frozen by cachePF and
+	// eligibility is monotone non-increasing (grants only shrink
+	// remaining; MBR credit moves only in Bearer.tick, after
+	// allocation). A rescan while the last winner is still eligible
+	// would return the same flow, so it is skipped — byte-identical
+	// grants at a fraction of the scan cost.
+	var best *FlowState
 	for _, size := range rbgSizes {
-		best := pickMaxPF(flows, nil)
-		if best == nil {
-			break
+		if best == nil || !best.eligible() {
+			best = pickMaxPF(flows, nil)
+			if best == nil {
+				break
+			}
 		}
 		grant(best, size)
 	}
-	return grants(flows)
 }
 
-// pickMaxPF returns the eligible flow with the highest PF metric, or nil
-// when none is eligible. When filter is non-nil only flows for which it
-// returns true are considered.
+// pickMaxPF returns the eligible flow with the highest (cached) PF
+// metric, or nil when none is eligible. When filter is non-nil only
+// flows for which it returns true are considered. Callers must have run
+// cachePF on flows first.
 func pickMaxPF(flows []*FlowState, filter func(*FlowState) bool) *FlowState {
 	var best *FlowState
 	bestMetric := -1.0
@@ -107,8 +136,8 @@ func pickMaxPF(flows []*FlowState, filter func(*FlowState) bool) *FlowState {
 		if filter != nil && !filter(f) {
 			continue
 		}
-		if m := f.pfMetric(); m > bestMetric {
-			bestMetric = m
+		if f.pf > bestMetric {
+			bestMetric = f.pf
 			best = f
 		}
 	}
@@ -129,21 +158,36 @@ var _ Scheduler = (*PrioritySetScheduler)(nil)
 func (PrioritySetScheduler) Name() string { return "pss" }
 
 // Allocate implements Scheduler.
-func (PrioritySetScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+func (PrioritySetScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) {
+	cachePF(flows)
+	// Priority-set membership is frozen within the TTI (FastTputBits
+	// only moves in Bearer.tick), so both the priority pick and the PF
+	// fallback are sticky: rescan only when the cached winner goes
+	// ineligible, and remember when a set has drained — it cannot
+	// refill before the next TTI.
 	inPrioritySet := func(f *FlowState) bool {
 		return f.Bearer.GBRBits > 0 && f.Bearer.FastTputBits() < f.Bearer.GBRBits
 	}
+	var bestPrio, bestAny *FlowState
+	prioDry, anyDry := false, false
 	for _, size := range rbgSizes {
-		best := pickMaxPF(flows, inPrioritySet)
+		if !prioDry && (bestPrio == nil || !bestPrio.eligible()) {
+			bestPrio = pickMaxPF(flows, inPrioritySet)
+			prioDry = bestPrio == nil
+		}
+		best := bestPrio
 		if best == nil {
-			best = pickMaxPF(flows, nil)
+			if !anyDry && (bestAny == nil || !bestAny.eligible()) {
+				bestAny = pickMaxPF(flows, nil)
+				anyDry = bestAny == nil
+			}
+			best = bestAny
 		}
 		if best == nil {
 			break
 		}
 		grant(best, size)
 	}
-	return grants(flows)
 }
 
 // TwoPhaseGBRScheduler is the FLARE testbed scheduler from Section III-B:
@@ -161,13 +205,16 @@ var _ Scheduler = (*TwoPhaseGBRScheduler)(nil)
 func (TwoPhaseGBRScheduler) Name() string { return "gbr2p" }
 
 // Allocate implements Scheduler.
-func (TwoPhaseGBRScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+func (TwoPhaseGBRScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) {
+	cachePF(flows)
 	// Phase 1: GBR video flows with outstanding credit, most-starved
-	// first (largest credit backlog).
-	credit := make(map[*FlowState]float64, len(flows))
+	// first (largest credit backlog). The credit ledger lives in the
+	// FlowState scratch fields — allocating a map here once per TTI was
+	// the engine's top allocation site.
 	for _, f := range flows {
-		if f.Bearer.Class == ClassVideo && f.Bearer.GBRBits > 0 {
-			credit[f] = f.Bearer.gbrCredit
+		f.inGBRSet = f.Bearer.Class == ClassVideo && f.Bearer.GBRBits > 0
+		if f.inGBRSet {
+			f.credit = f.Bearer.gbrCredit
 		}
 	}
 	next := 0
@@ -175,12 +222,11 @@ func (TwoPhaseGBRScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int
 		var best *FlowState
 		bestCredit := 0.0
 		for _, f := range flows {
-			c, isGBR := credit[f]
-			if !isGBR || c <= 0 || !f.eligible() {
+			if !f.inGBRSet || f.credit <= 0 || !f.eligible() {
 				continue
 			}
-			if best == nil || c > bestCredit {
-				best, bestCredit = f, c
+			if best == nil || f.credit > bestCredit {
+				best, bestCredit = f, f.credit
 			}
 		}
 		if best == nil {
@@ -189,17 +235,22 @@ func (TwoPhaseGBRScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int
 		size := rbgSizes[next]
 		next++
 		grant(best, size)
-		credit[best] -= float64(best.grantBytes(size))
+		best.credit -= float64(best.grantBytes(size))
 	}
-	// Phase 2: legacy PF over everything still eligible.
+	// Phase 2: legacy PF over everything still eligible. The winner is
+	// sticky (see PFScheduler.Allocate): rescanning only when the
+	// current best goes ineligible is byte-identical to rescanning per
+	// RBG because pf is frozen and the eligible set only shrinks.
+	var best *FlowState
 	for ; next < len(rbgSizes); next++ {
-		best := pickMaxPF(flows, nil)
-		if best == nil {
-			break
+		if best == nil || !best.eligible() {
+			best = pickMaxPF(flows, nil)
+			if best == nil {
+				break
+			}
 		}
 		grant(best, rbgSizes[next])
 	}
-	return grants(flows)
 }
 
 // SlicedScheduler statically partitions the RBGs between video and data
@@ -223,7 +274,8 @@ func (SlicedScheduler) Name() string { return "sliced" }
 // toward its guaranteed rate, regardless of how many RBs a poor channel
 // makes that cost — the enforcement behaviour that lets a stale AVIS
 // assignment starve the rest of the slice).
-func (s SlicedScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) []int {
+func (s SlicedScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) {
+	cachePF(flows)
 	videoRBGs := int(s.VideoFraction*float64(len(rbgSizes)) + 0.5)
 	if videoRBGs > len(rbgSizes) {
 		videoRBGs = len(rbgSizes)
@@ -233,20 +285,37 @@ func (s SlicedScheduler) Allocate(_ int64, flows []*FlowState, rbgSizes []int) [
 		return isVideo(f) && f.Bearer.GBRBits > 0 && f.Bearer.FastTputBits() < f.Bearer.GBRBits
 	}
 	isData := func(f *FlowState) bool { return f.Bearer.Class == ClassData }
+	// All three filters are frozen within the TTI (class is static,
+	// FastTputBits only moves in Bearer.tick), so each pick is sticky:
+	// rescan only when the cached winner goes ineligible, and remember
+	// drained sets (see PrioritySetScheduler.Allocate).
+	var bestGBR, bestVid, bestData *FlowState
+	gbrDry, vidDry, dataDry := false, false, false
 	for i, size := range rbgSizes {
 		var best *FlowState
 		if i < videoRBGs {
-			best = pickMaxPF(flows, videoUnderGBR)
+			if !gbrDry && (bestGBR == nil || !bestGBR.eligible()) {
+				bestGBR = pickMaxPF(flows, videoUnderGBR)
+				gbrDry = bestGBR == nil
+			}
+			best = bestGBR
 			if best == nil {
-				best = pickMaxPF(flows, isVideo)
+				if !vidDry && (bestVid == nil || !bestVid.eligible()) {
+					bestVid = pickMaxPF(flows, isVideo)
+					vidDry = bestVid == nil
+				}
+				best = bestVid
 			}
 		} else {
-			best = pickMaxPF(flows, isData)
+			if !dataDry && (bestData == nil || !bestData.eligible()) {
+				bestData = pickMaxPF(flows, isData)
+				dataDry = bestData == nil
+			}
+			best = bestData
 		}
 		if best == nil {
 			continue // slice idles rather than borrowing
 		}
 		grant(best, size)
 	}
-	return grants(flows)
 }

@@ -26,18 +26,18 @@ func makeFlows(iTbs int, backlogs ...int64) ([]*FlowState, []*Bearer) {
 	return flows, bearers
 }
 
-func totalRBs(alloc []int) int {
+func totalRBs(flows []*FlowState) int {
 	sum := 0
-	for _, a := range alloc {
-		sum += a
+	for _, f := range flows {
+		sum += f.Granted()
 	}
 	return sum
 }
 
 func TestPFAllocatesAllRBsUnderLoad(t *testing.T) {
 	flows, _ := makeFlows(10, 1<<20, 1<<20, 1<<20)
-	alloc := PFScheduler{}.Allocate(0, flows, RBGSizes())
-	if got := totalRBs(alloc); got != NumRB {
+	PFScheduler{}.Allocate(0, flows, RBGSizes())
+	if got := totalRBs(flows); got != NumRB {
 		t.Fatalf("allocated %d RBs, want all %d", got, NumRB)
 	}
 }
@@ -45,8 +45,8 @@ func TestPFAllocatesAllRBsUnderLoad(t *testing.T) {
 func TestPFStopsWhenBacklogCovered(t *testing.T) {
 	// A tiny backlog should not soak up the whole band.
 	flows, _ := makeFlows(10, 100)
-	alloc := PFScheduler{}.Allocate(0, flows, RBGSizes())
-	granted := alloc[0]
+	PFScheduler{}.Allocate(0, flows, RBGSizes())
+	granted := flows[0].Granted()
 	if granted == 0 {
 		t.Fatal("flow with backlog got nothing")
 	}
@@ -58,8 +58,8 @@ func TestPFStopsWhenBacklogCovered(t *testing.T) {
 
 func TestPFNoBacklogNoAllocation(t *testing.T) {
 	flows, _ := makeFlows(10, 0, 0)
-	alloc := PFScheduler{}.Allocate(0, flows, RBGSizes())
-	if got := totalRBs(alloc); got != 0 {
+	PFScheduler{}.Allocate(0, flows, RBGSizes())
+	if got := totalRBs(flows); got != 0 {
 		t.Fatalf("allocated %d RBs to empty queues", got)
 	}
 }
@@ -251,12 +251,12 @@ func TestSchedulersNeverOverAllocateProperty(t *testing.T) {
 			flows, _ := makeFlows(iTbs, int64(b0), int64(b1), int64(b2))
 			flows[0].Bearer.Class = ClassVideo
 			flows[0].Bearer.GBRBits = 1e6
-			alloc := s.Allocate(0, flows, RBGSizes())
-			if totalRBs(alloc) > NumRB {
+			s.Allocate(0, flows, RBGSizes())
+			if totalRBs(flows) > NumRB {
 				return false
 			}
-			for _, a := range alloc {
-				if a < 0 {
+			for _, f := range flows {
+				if f.Granted() < 0 {
 					return false
 				}
 			}

@@ -1,0 +1,52 @@
+// Package profiling provides the tiny pprof plumbing shared by the
+// command-line binaries: a CPU profile spanning the run and a heap
+// snapshot at exit. Both are opt-in via empty-path no-ops so the mains
+// can call them unconditionally.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns the stop
+// function to defer. An empty path is a no-op (the returned stop does
+// nothing).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after forcing a GC so the
+// snapshot reflects live memory, not collection timing. An empty path
+// is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: create heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: write heap profile: %w", err)
+	}
+	return nil
+}

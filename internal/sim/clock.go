@@ -31,6 +31,18 @@ func (c *Clock) Advance() int64 {
 	return c.tti
 }
 
+// AdvanceTo jumps the clock forward to the given TTI — the fast-forward
+// primitive. Moving backwards is a programming error and panics, since a
+// retreating clock would silently corrupt every lazily-advanced
+// component (players, transport, bearers).
+func (c *Clock) AdvanceTo(tti int64) int64 {
+	if tti < c.tti {
+		panic(fmt.Sprintf("sim: clock cannot move backwards (at %d, asked for %d)", c.tti, tti))
+	}
+	c.tti = tti
+	return c.tti
+}
+
 // Seconds returns the current simulated time in seconds.
 func (c *Clock) Seconds() float64 {
 	return float64(c.tti) / 1000.0

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lte"
+)
+
+// Unit tests for the flow-side fast-forward contract: Active/Quiescent
+// semantics and the pooled ScheduleArg ACK path's equivalence with the
+// closure path.
+
+// argEnv extends testEnv with the ArgScheduler fast path so the pooled
+// ACK delivery can be exercised against the closure fallback.
+type argEnv struct {
+	*testEnv
+}
+
+func (e *argEnv) ScheduleArg(delay int64, fn func(int64), arg int64) {
+	if delay < 1 {
+		delay = 1
+	}
+	e.events.ScheduleArg(e.clock.TTI()+delay, fn, arg)
+}
+
+func TestActiveTracksPendingAndGreedy(t *testing.T) {
+	env := newTestEnv(t, 10, 1)
+	f := env.addFlow(t, 0, lte.ClassVideo, DefaultConfig())
+	if f.Active() {
+		t.Fatal("idle flow reported active")
+	}
+	f.Send(50_000)
+	if !f.Active() {
+		t.Fatal("flow with pending bytes not active")
+	}
+	// Drain the transfer completely: pending hits zero, flow goes idle.
+	env.run(5_000)
+	if f.Pending() != 0 {
+		t.Fatalf("transfer did not drain: pending=%d", f.Pending())
+	}
+	if f.Active() {
+		t.Fatal("drained flow still active")
+	}
+	if !f.Quiescent() {
+		t.Fatal("inactive flow must be quiescent")
+	}
+	f.SetGreedy(true)
+	if !f.Active() {
+		t.Fatal("greedy flow not active")
+	}
+	f.SetGreedy(false)
+	if f.Active() {
+		t.Fatal("un-greedied drained flow still active")
+	}
+}
+
+func TestQuiescentRequiresClosedWindow(t *testing.T) {
+	env := newTestEnv(t, 10, 1)
+	cfg := DefaultConfig()
+	f := env.addFlow(t, 0, lte.ClassVideo, cfg)
+	// Far more pending than one window: Send's internal trySend fills
+	// the window and the flow is then provably stuck until an ACK
+	// arrives.
+	f.Send(10_000_000)
+	if int64(f.Cwnd())-f.InFlight() > 0 {
+		t.Fatalf("window not filled: cwnd=%v inFlight=%d", f.Cwnd(), f.InFlight())
+	}
+	if !f.Quiescent() {
+		t.Fatal("window-closed flow with in-flight data not quiescent")
+	}
+	// An ACK reopens the window: the flow must stop claiming quiescence,
+	// since Tick can now enqueue bytes.
+	env.run(int64(cfg.RTTTTIs) + 5)
+	if int64(f.Cwnd())-f.InFlight() > 0 && f.Pending() > 0 && f.Quiescent() {
+		t.Fatal("flow with window space and pending bytes reported quiescent")
+	}
+}
+
+// TestArgSchedulerACKPathMatchesClosures pins the pooled-event ACK
+// delivery to the closure fallback: both paths must produce identical
+// flow trajectories, byte for byte.
+func TestArgSchedulerACKPathMatchesClosures(t *testing.T) {
+	plain := newTestEnv(t, 10, 1)
+	arg := &argEnv{newTestEnv(t, 10, 1)}
+
+	cfg := DefaultConfig()
+	b1 := &lte.Bearer{ID: 0, UE: 0, Class: lte.ClassVideo}
+	if _, err := plain.enb.AddBearer(b1); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NewFlow(plain, b1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.flows = append(plain.flows, f1)
+
+	b2 := &lte.Bearer{ID: 0, UE: 0, Class: lte.ClassVideo}
+	if _, err := arg.enb.AddBearer(b2); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFlow(arg, b2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg.flows = append(arg.flows, f2)
+
+	if f1.argSched != nil {
+		t.Fatal("plain env unexpectedly implements ArgScheduler")
+	}
+	if f2.argSched == nil {
+		t.Fatal("arg env does not implement ArgScheduler")
+	}
+
+	f1.Send(200_000)
+	f2.Send(200_000)
+	for i := 0; i < 3_000; i++ {
+		plain.run(1)
+		arg.run(1)
+		if f1.DeliveredTotal() != f2.DeliveredTotal() ||
+			f1.InFlight() != f2.InFlight() ||
+			f1.Cwnd() != f2.Cwnd() ||
+			f1.Pending() != f2.Pending() {
+			t.Fatalf("TTI %d: ACK paths diverged:\nclosure delivered=%d inFlight=%d cwnd=%v pending=%d\npooled  delivered=%d inFlight=%d cwnd=%v pending=%d",
+				i, f1.DeliveredTotal(), f1.InFlight(), f1.Cwnd(), f1.Pending(),
+				f2.DeliveredTotal(), f2.InFlight(), f2.Cwnd(), f2.Pending())
+		}
+	}
+	if f1.DeliveredTotal() == 0 {
+		t.Fatal("nothing delivered; test exercised no ACKs")
+	}
+}

@@ -28,6 +28,22 @@ type Env interface {
 	Schedule(delayTTIs int64, fn func())
 }
 
+// Waker is an optional Env extension. An environment that implements it
+// is told whenever a flow transitions from inactive (nothing to send)
+// to active — the wake hint the quiescence-aware kernel uses to keep an
+// active-flow tick list instead of polling every flow every TTI.
+type Waker interface {
+	FlowActivated(f *Flow)
+}
+
+// ArgScheduler is an optional Env extension: an allocation-free variant
+// of Schedule for payload-carrying callbacks. The flow uses it for the
+// per-delivery ACK clock — one stored method value plus the byte count
+// replaces a fresh closure per radio delivery.
+type ArgScheduler interface {
+	ScheduleArg(delayTTIs int64, fn func(int64), arg int64)
+}
+
 // Config holds the TCP model parameters.
 type Config struct {
 	// RTTTTIs is the base round-trip time in TTIs (ms), radio queueing
@@ -85,9 +101,12 @@ func (c Config) validate() error {
 // Flow is one TCP connection from server to UE across a bearer.
 // Flows are single-goroutine, driven by the simulation loop.
 type Flow struct {
-	env    Env
-	bearer *lte.Bearer
-	cfg    Config
+	env      Env
+	waker    Waker        // env's Waker extension, nil if not implemented
+	argSched ArgScheduler // env's ArgScheduler extension, nil if not implemented
+	onAckFn  func(int64)  // f.onAck as a stored method value (one alloc, reused)
+	bearer   *lte.Bearer
+	cfg      Config
 
 	// OnDelivered, if set, is called at the UE when bytes arrive over
 	// the radio (before the ACK returns to the sender). HAS players use
@@ -127,6 +146,13 @@ func NewFlow(env Env, bearer *lte.Bearer, cfg Config) (*Flow, error) {
 		lastAckTTI:  -1,
 		lastSendTTI: -1,
 	}
+	if w, ok := env.(Waker); ok {
+		f.waker = w
+	}
+	if a, ok := env.(ArgScheduler); ok {
+		f.argSched = a
+		f.onAckFn = f.onAck
+	}
 	bearer.QueueLimit = cfg.QueueLimit
 	bearer.OnDeliver = f.onRadioDeliver
 	return f, nil
@@ -137,8 +163,12 @@ func (f *Flow) Bearer() *lte.Bearer { return f.bearer }
 
 // SetGreedy makes the flow an always-backlogged (iperf-like) source.
 func (f *Flow) SetGreedy(greedy bool) {
+	wasActive := f.Active()
 	f.greedy = greedy
 	if greedy {
+		if !wasActive && f.waker != nil {
+			f.waker.FlowActivated(f)
+		}
 		f.trySend()
 	}
 }
@@ -150,8 +180,31 @@ func (f *Flow) Send(bytes int64) {
 	if bytes <= 0 {
 		return
 	}
+	if !f.Active() && f.waker != nil {
+		f.waker.FlowActivated(f)
+	}
 	f.pending += int64(math.Ceil(float64(bytes) * f.cfg.OverheadFactor))
 	f.trySend()
+}
+
+// Active reports whether the flow has application bytes it still wants
+// to hand to the radio queue — i.e. whether Tick could possibly act.
+func (f *Flow) Active() bool { return f.greedy || f.pending > 0 }
+
+// Quiescent reports whether Tick is a provable no-op right now, making
+// the flow safe to skip during a kernel fast-forward. Either the flow
+// has nothing to send, or its congestion window is closed: with
+// inFlight >= cwnd no bytes can be enqueued, and inFlight > 0 also
+// rules out the slow-start-after-idle reset (which requires an empty
+// pipe), so trySend cannot change any state. Within an event-free span
+// cwnd, inFlight, and pending are all constant (they only move in
+// Send/SetGreedy and the ACK/loss events), so a flow quiescent at the
+// start of the span stays quiescent throughout it.
+func (f *Flow) Quiescent() bool {
+	if !f.Active() {
+		return true
+	}
+	return f.inFlight > 0 && int64(f.cwnd)-f.inFlight <= 0
 }
 
 // Pending returns the app bytes not yet passed to the radio queue.
@@ -261,7 +314,11 @@ func (f *Flow) onRadioDeliver(bytes int64) {
 	if delay < 1 {
 		delay = 1
 	}
-	f.env.Schedule(delay, func() { f.onAck(bytes) })
+	if f.argSched != nil {
+		f.argSched.ScheduleArg(delay, f.onAckFn, bytes)
+	} else {
+		f.env.Schedule(delay, func() { f.onAck(bytes) })
+	}
 }
 
 func (f *Flow) onAck(bytes int64) {
