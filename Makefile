@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check results bench-quick bench-json bench-check profile clean
+.PHONY: build test vet race check results bench-quick bench-json bench-check profile trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-check:
 profile:
 	$(GO) test -run '^$$' -bench BenchmarkEngineTick -benchtime 10x \
 		-cpuprofile cpu.prof -memprofile mem.prof .
+
+# trace-demo records a faulted run (the ext-faults blackout shape) with
+# telemetry on, then replays its decision narrative — solver summaries,
+# fallback causal chains, stall annotations — through flaretrace.
+trace-demo:
+	$(GO) run ./cmd/flaresim -duration 120s -videos 4 \
+		-ctrl-blackout 40s-80s -trace trace-demo.jsonl
+	$(GO) run ./cmd/flaretrace trace-demo.jsonl
 
 # results regenerates the quick-scale experiment outputs in results/.
 results:

@@ -17,6 +17,7 @@ import (
 	"github.com/flare-sim/flare/internal/experiments"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/sim"
 )
 
@@ -177,6 +178,31 @@ func BenchmarkEngineTick(b *testing.B) {
 		}
 	}
 	b.ReportMetric(benchmarks.EngineSimSeconds/float64(b.Elapsed().Seconds()/float64(b.N)), "simsec/sec")
+}
+
+// BenchmarkEngineTickRecording runs the same canonical workload with
+// the telemetry flight recorder enabled (ring buffer only, no
+// streaming sink): every BAI solve, clamp, install, delivery, and
+// stall is recorded. The gap against BenchmarkEngineTick documents the
+// recording-enabled overhead, which must stay small (<15% simsec/sec)
+// — the budget that makes always-on recording viable in tests and
+// debugging runs. The disabled path costs nothing by construction
+// (nil recorder, zero allocations; pinned in internal/obs tests).
+func BenchmarkEngineTickRecording(b *testing.B) {
+	rec := obs.New(obs.Options{RingSize: 4096})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchmarks.EngineTickConfig(uint64(i + 1))
+		cfg.Obs = rec
+		if _, err := cellsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rec.Metrics().Events.Load() == 0 {
+		b.Fatal("recording benchmark recorded no events")
+	}
+	b.ReportMetric(benchmarks.EngineSimSeconds/float64(b.Elapsed().Seconds()/float64(b.N)), "simsec/sec")
+	b.ReportMetric(float64(rec.Metrics().Events.Load())/float64(b.N), "events/op")
 }
 
 // BenchmarkMixedCell measures the mixed-scheme path: two driver groups

@@ -7,6 +7,7 @@
 //	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	flarebench -json BENCH_engine.json
 //	flarebench -check-against BENCH_engine.json
+//	flarebench -trace engine.jsonl
 //
 // Text tables are printed to stdout; per-figure plot data (CSV) and the
 // text views are written under -out (default ./results).
@@ -17,6 +18,11 @@
 // block. -check-against measures the same workload and exits nonzero if
 // simsec/sec regressed more than 20% against the file's committed
 // current numbers — the CI perf gate.
+//
+// -trace runs the same canonical engine workload once with telemetry
+// recording enabled, writes its JSONL event stream (readable with
+// flaretrace) to the given file, and dumps the run's counters and
+// solver-latency histogram in Prometheus text to stdout.
 package main
 
 import (
@@ -29,9 +35,11 @@ import (
 	"time"
 
 	"github.com/flare-sim/flare/internal/benchmarks"
+	"github.com/flare-sim/flare/internal/buildinfo"
 	"github.com/flare-sim/flare/internal/cellsim"
 	"github.com/flare-sim/flare/internal/experiments"
 	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/profiling"
 )
 
@@ -143,6 +151,35 @@ func runBench(jsonPath, checkPath string) int {
 	return 0
 }
 
+// runTrace executes the canonical engine workload once with the flight
+// recorder attached, streaming its event log to tracePath and dumping
+// the derived counters to stdout — the benchmark-shaped way to produce
+// a flaretrace-readable trace and a metrics snapshot.
+func runTrace(tracePath string) int {
+	sink, err := obs.CreateJSONLFile(tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+		return 1
+	}
+	rec := obs.New(obs.Options{RingSize: -1, Sinks: []obs.Sink{sink}})
+	cfg := benchmarks.EngineTickConfig(1)
+	cfg.Obs = rec
+	if _, err := cellsim.Run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: engine workload: %v\n", err)
+		return 1
+	}
+	if err := rec.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: trace: %v\n", err)
+		return 1
+	}
+	if err := rec.Metrics().WritePrometheus(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d events recorded)\n", tracePath, rec.Metrics().Events.Load())
+	return 0
+}
+
 func run() int {
 	var (
 		scaleName  = flag.String("scale", "quick", `experiment scale: "quick" or "full" (paper durations, 20 runs)`)
@@ -154,10 +191,16 @@ func run() int {
 		plot       = flag.Bool("plot", false, "render ASCII plots of each experiment's series")
 		jsonPath   = flag.String("json", "", "measure the engine benchmark and write BENCH_engine.json-style output here (skips experiments)")
 		checkPath  = flag.String("check-against", "", "measure the engine benchmark and fail on >20% simsec/sec regression vs this file (skips experiments)")
+		tracePath  = flag.String("trace", "", "run the canonical engine workload once with telemetry recording, write its JSONL trace here, and dump counters (skips experiments)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "flarebench")
+		return 0
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
@@ -173,6 +216,9 @@ func run() int {
 
 	if *jsonPath != "" || *checkPath != "" {
 		return runBench(*jsonPath, *checkPath)
+	}
+	if *tracePath != "" {
+		return runTrace(*tracePath)
 	}
 
 	if *list {

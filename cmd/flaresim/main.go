@@ -11,28 +11,39 @@
 //	         [-mix "flare:4,festive:4"]
 //	         [-ctrl-loss 0.3] [-ctrl-blackout 60s-90s]
 //	         [-fallback-polls 3] [-fallback-age 4]
-//	         [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	         [-trace run.jsonl] [-metrics-dump]
+//	         [-cpuprofile cpu.prof] [-memprofile mem.prof] [-version]
 //
 // -mix runs a mixed-scheme cell: a comma-separated list of
 // scheme:count groups that overrides -scheme/-videos for the video
 // population (each group gets its own driver; results are attributed
 // per scheme).
+//
+// -trace records every control-plane decision the run makes (BAI
+// solves, Algorithm 1 clamps, installs, fallbacks, stalls, injected
+// faults, ...) as a JSONL event stream for flaretrace; "-" streams the
+// events to stdout and suppresses the human report so the output pipes
+// cleanly into `flaretrace -`. -metrics-dump prints the run's telemetry
+// counters and solver-latency histogram (Prometheus text) to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"github.com/flare-sim/flare/internal/abr"
+	"github.com/flare-sim/flare/internal/buildinfo"
 	"github.com/flare-sim/flare/internal/cellsim"
 	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/profiling"
 )
 
@@ -86,10 +97,18 @@ func run() int {
 		fbPolls      = flag.Int("fallback-polls", 0, "plugin fallback after K consecutive failed polls (0 = default 3)")
 		fbAge        = flag.Int("fallback-age", 0, "plugin fallback after an assignment M BAIs stale (0 = default 4)")
 
+		tracePath   = flag.String("trace", "", `record the run's telemetry event stream as JSONL to this file ("-" = stdout, suppressing the report)`)
+		metricsDump = flag.Bool("metrics-dump", false, "print telemetry counters and solver-latency histogram (Prometheus text) to stderr after the run")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "flaresim")
+		return 0
+	}
 
 	stopCPU, err := profiling.StartCPU(*cpuprofile)
 	if err != nil {
@@ -198,10 +217,48 @@ func run() int {
 		return 2
 	}
 
+	// Telemetry: -trace streams the event log as JSONL, -metrics-dump
+	// prints the derived counters. Either one turns the recorder on;
+	// without them the run pays the nil-recorder (zero allocation)
+	// fast path.
+	var rec *obs.Recorder
+	quietReport := false
+	if *tracePath != "" || *metricsDump {
+		var sinks []obs.Sink
+		switch *tracePath {
+		case "":
+		case "-":
+			// Hide os.Stdout's Closer so the sink cannot close stdout.
+			sinks = append(sinks, obs.NewJSONLSink(struct{ io.Writer }{os.Stdout}))
+			quietReport = true
+		default:
+			sink, err := obs.CreateJSONLFile(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flaresim: %v\n", err)
+				return 1
+			}
+			sinks = append(sinks, sink)
+		}
+		rec = obs.New(obs.Options{RingSize: -1, Sinks: sinks})
+		cfg.Obs = rec
+	}
+
 	res, err := cellsim.Run(cfg)
+	if cerr := rec.Close(); cerr != nil && err == nil {
+		fmt.Fprintf(os.Stderr, "flaresim: trace: %v\n", cerr)
+		return 1
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flaresim: %v\n", err)
 		return 1
+	}
+	if *metricsDump {
+		if err := rec.Metrics().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "flaresim: metrics dump: %v\n", err)
+		}
+	}
+	if quietReport {
+		return 0
 	}
 
 	fmt.Printf("%s over %v (%d video, %d data, %s channel, seed %d)\n\n",

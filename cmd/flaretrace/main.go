@@ -1,0 +1,85 @@
+// Command flaretrace ingests a FLARE telemetry trace (the JSONL event
+// stream written by flaresim -trace or dumped by the flight recorder)
+// and reconstructs the decision-level story behind it: per-BAI solver
+// summaries, per-flow decision timelines, fallback causal chains, and
+// stall root-cause annotations.
+//
+// Usage:
+//
+//	flaretrace trace.jsonl            # full report
+//	flaretrace -flow 3 trace.jsonl    # one flow's event-by-event timeline
+//	flaresim ... -trace - | flaretrace -   # read the stream from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/flare-sim/flare/internal/buildinfo"
+	"github.com/flare-sim/flare/internal/obs"
+	"github.com/flare-sim/flare/internal/obs/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flaretrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		flow    = fs.Int("flow", -1, "drill into one flow: print its full event timeline")
+		ttis    = fs.Float64("ttis-per-sec", analyze.DefaultTTIsPerSecond, "TTI stamps per second (LTE: 1000)")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flaretrace [flags] <trace.jsonl | ->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		buildinfo.Print(stdout, "flaretrace")
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	var in io.Reader
+	if name := fs.Arg(0); name == "-" {
+		in = stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "flaretrace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+
+	events, err := obs.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "flaretrace: %v\n", err)
+		return 1
+	}
+	a := analyze.Analyze(events, analyze.Options{TTIsPerSecond: *ttis})
+
+	if *flow >= 0 {
+		if err := analyze.WriteFlowTimeline(stdout, a, int32(*flow)); err != nil {
+			fmt.Fprintf(stderr, "flaretrace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := analyze.WriteReport(stdout, a); err != nil {
+		fmt.Fprintf(stderr, "flaretrace: %v\n", err)
+		return 1
+	}
+	return 0
+}

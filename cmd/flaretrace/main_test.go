@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// trace is a minimal valid flare-trace/1 stream: one solve, one flow's
+// clamp/install/deliver, a poll-loss fallback, and its recovery.
+const trace = `{"schema":"flare-trace/1"}
+{"kind":"flow_start","tti":0,"flow":2}
+{"kind":"bai_solve","tti":1000,"cell":0,"flow":-1,"seq":1,"value":12.5,"dur_ns":50000}
+{"kind":"install","tti":1000,"flow":2,"level":3,"bps":1000000,"seq":1}
+{"kind":"deliver","tti":1000,"flow":2,"level":3,"bps":1000000,"seq":1}
+{"kind":"poll_lost","tti":2000,"flow":2}
+{"kind":"poll_lost","tti":3000,"flow":2}
+{"kind":"poll_lost","tti":4000,"flow":2}
+{"kind":"fallback","tti":4000,"flow":2,"reason":"polls","streak":3}
+{"kind":"deliver","tti":6000,"flow":2,"level":3,"bps":1000000,"seq":6}
+{"kind":"recover","tti":6000,"flow":2}
+`
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{writeTrace(t)}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"BAI solver", "fallback causal chains", "recovered"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlowTimeline(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-flow", "2", writeTrace(t)}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "flow 2 timeline") {
+		t.Fatalf("timeline header missing:\n%s", out.String())
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-"}, strings.NewReader(trace), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "trace: ") {
+		t.Fatalf("no report from stdin:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/trace.jsonl"}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("missing-file exit %d, want 1", code)
+	}
+	bad := strings.NewReader(`{"schema":"other/9"}` + "\n")
+	if code := run([]string{"-"}, bad, &out, &errOut); code != 1 {
+		t.Fatalf("wrong-schema exit %d, want 1", code)
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "flaretrace ") {
+		t.Fatalf("version output: %q", out.String())
+	}
+}

@@ -2,9 +2,13 @@
 // an MPD at /video/mpd.json and exact-size segments at
 // /video/seg/{index}/{representation}.
 //
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight segment
+// downloads get a draining deadline before the listener closes.
+//
 // Usage:
 //
-//	mediaserver [-addr :8090] [-ladder testbed|sim|fine] [-segment 2s] [-segments 300]
+//	mediaserver [-addr :8090] [-ladder testbed|sim|fine] [-segment 2s]
+//	            [-segments 300] [-version]
 package main
 
 import (
@@ -14,9 +18,15 @@ import (
 	"os"
 	"time"
 
+	"github.com/flare-sim/flare/internal/buildinfo"
+	"github.com/flare-sim/flare/internal/graceful"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/testbed"
 )
+
+// shutdownGrace bounds how long in-flight downloads may drain after
+// SIGINT/SIGTERM before the server is torn down.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	os.Exit(run())
@@ -28,8 +38,13 @@ func run() int {
 		ladderName = flag.String("ladder", "testbed", "bitrate ladder: testbed, sim, fine")
 		segDur     = flag.Duration("segment", 2*time.Second, "segment duration")
 		segments   = flag.Int("segments", 300, "total segments (0 = unbounded)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "mediaserver")
+		return 0
+	}
 
 	ladder, ok := map[string]has.Ladder{
 		"sim":     has.SimLadder(),
@@ -48,7 +63,11 @@ func run() int {
 	}
 	fmt.Printf("mediaserver: listening on %s (%d representations, %v segments x %d)\n",
 		*addr, ladder.Len(), *segDur, *segments)
-	if err := http.ListenAndServe(*addr, ms.Handler()); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: ms.Handler()}
+	err = graceful.Serve(srv, shutdownGrace, func(format string, args ...any) {
+		fmt.Printf("mediaserver: "+format+"\n", args...)
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mediaserver: %v\n", err)
 		return 1
 	}

@@ -9,11 +9,24 @@
 // server down for scheduled windows (e.g. "60s-90s" after start) —
 // exactly the conditions the hardened clients must ride out.
 //
+// Observability: the server records control-plane decisions into an
+// in-process flight recorder (internal/obs) and exposes
+//
+//	/metrics      Prometheus-text counters and solver-latency histogram
+//	/debug/flare  JSON tail of the recorder's ring buffer (?n=64)
+//
+// Both endpoints sit outside the fault middleware so they stay
+// reachable during injected blackouts.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get a draining deadline before the listener closes.
+//
 // Usage:
 //
 //	oneapiserver [-addr :8480] [-alpha 1.0] [-delta 4] [-bai 1s] [-relax]
-//	             [-fault-drop 0.2] [-fault-delay 0.1] [-fault-delay-by 2s]
-//	             [-fault-blackout 60s-90s] [-fault-seed 1]
+//	             [-fault-drop 0.2] [-fault-fail 0.1] [-fault-delay 0.1]
+//	             [-fault-delay-by 2s] [-fault-blackout 60s-90s] [-fault-seed 1]
+//	             [-ring 4096] [-version]
 package main
 
 import (
@@ -24,10 +37,17 @@ import (
 	"strings"
 	"time"
 
+	"github.com/flare-sim/flare/internal/buildinfo"
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/faults"
+	"github.com/flare-sim/flare/internal/graceful"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/oneapi"
 )
+
+// shutdownGrace bounds how long in-flight requests may drain after
+// SIGINT/SIGTERM before the server is torn down.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	os.Exit(run())
@@ -35,11 +55,13 @@ func main() {
 
 func run() int {
 	var (
-		addr  = flag.String("addr", ":8480", "listen address")
-		alpha = flag.Float64("alpha", 1.0, "data/video priority")
-		delta = flag.Int("delta", 4, "Algorithm 1 stability parameter")
-		bai   = flag.Duration("bai", time.Second, "bitrate assignment interval")
-		relax = flag.Bool("relax", false, "use the continuous-relaxation solver")
+		addr    = flag.String("addr", ":8480", "listen address")
+		alpha   = flag.Float64("alpha", 1.0, "data/video priority")
+		delta   = flag.Int("delta", 4, "Algorithm 1 stability parameter")
+		bai     = flag.Duration("bai", time.Second, "bitrate assignment interval")
+		relax   = flag.Bool("relax", false, "use the continuous-relaxation solver")
+		ring    = flag.Int("ring", 0, "flight-recorder ring size in events (0 = default 4096, negative = disabled)")
+		version = flag.Bool("version", false, "print version and exit")
 
 		faultDrop     = flag.Float64("fault-drop", 0, "fraction of requests answered 503 as if lost (0..1)")
 		faultFail     = flag.Float64("fault-fail", 0, "fraction of requests answered with an injected server error (0..1)")
@@ -49,15 +71,16 @@ func run() int {
 		faultSeed     = flag.Uint64("fault-seed", 1, "fault injector seed")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "oneapiserver")
+		return 0
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Alpha = *alpha
 	cfg.Delta = *delta
 	cfg.BAI = *bai
 	cfg.UseRelaxation = *relax
-
-	server := oneapi.NewServer(cfg, nil)
-	handler := http.Handler(oneapi.Handler(server))
 
 	faultCfg := faults.Config{
 		Seed:     *faultSeed,
@@ -80,19 +103,45 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
 		return 2
 	}
+
+	handler, _ := buildHandler(cfg, faultCfg, *ring)
 	if faultCfg.Enabled() {
-		handler = faults.Middleware(faults.New(faultCfg), handler)
 		fmt.Printf("oneapiserver: fault injection ON (drop=%.2f fail=%.2f delay=%.2f blackouts=%d)\n",
 			*faultDrop, *faultFail, *faultDelay, len(faultCfg.Blackouts))
 	}
 
 	fmt.Printf("oneapiserver: listening on %s (alpha=%.2f delta=%d bai=%v relax=%v)\n",
 		*addr, *alpha, *delta, *bai, *relax)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	err := graceful.Serve(srv, shutdownGrace, func(format string, args ...any) {
+		fmt.Printf("oneapiserver: "+format+"\n", args...)
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// buildHandler assembles the full HTTP surface: the OneAPI handler
+// (wrapped in the fault middleware when configured) plus the /metrics
+// and /debug/flare observability endpoints, which bypass fault
+// injection. It returns the mux and the server's flight recorder.
+func buildHandler(cfg core.Config, faultCfg faults.Config, ringSize int) (http.Handler, *obs.Recorder) {
+	rec := obs.New(obs.Options{RingSize: ringSize})
+	server := oneapi.NewServer(cfg, nil)
+	server.SetRecorder(rec)
+
+	api := http.Handler(oneapi.Handler(server))
+	if faultCfg.Enabled() {
+		api = faults.Middleware(faults.New(faultCfg), api)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("/metrics", obs.MetricsHandler(rec.Metrics()))
+	mux.Handle("/debug/flare", obs.DebugHandler(rec))
+	return mux, rec
 }
 
 // parseWindows parses comma-separated "from-to" blackout windows.

@@ -34,6 +34,39 @@ func (m PluginMode) String() string {
 	}
 }
 
+// TransitionReason explains a plugin mode transition to observers.
+type TransitionReason int
+
+const (
+	// ReasonFreshAssignment: a new-sequence assignment arrived and the
+	// plugin rejoined coordination.
+	ReasonFreshAssignment TransitionReason = iota
+	// ReasonFailedPolls: K consecutive assignment polls failed.
+	ReasonFailedPolls
+	// ReasonStaleAssignment: the assignment stopped advancing for M BAIs.
+	ReasonStaleAssignment
+)
+
+// String implements fmt.Stringer.
+func (r TransitionReason) String() string {
+	switch r {
+	case ReasonFreshAssignment:
+		return "fresh_assignment"
+	case ReasonFailedPolls:
+		return "failed_polls"
+	case ReasonStaleAssignment:
+		return "stale_assignment"
+	default:
+		return fmt.Sprintf("TransitionReason(%d)", int(r))
+	}
+}
+
+// TransitionObserver is notified on every plugin mode transition: the
+// new mode, why, and the triggering counter (consecutive failed polls
+// or stale BAIs; 0 on recovery). The simulator's driver uses it to emit
+// fallback/recover telemetry events with simulated timestamps.
+type TransitionObserver func(to PluginMode, reason TransitionReason, count int)
+
 // FallbackConfig parameterises the plugin's degradation policy. The
 // zero value is normalised to the defaults below.
 type FallbackConfig struct {
@@ -107,6 +140,8 @@ type FlarePlugin struct {
 	staleBAIs   int
 	transitions int
 	fallbackOps int // control-plane intervals spent in fallback
+
+	onTransition TransitionObserver // optional; see SetTransitionObserver
 }
 
 var _ has.Adapter = (*FlarePlugin)(nil)
@@ -126,6 +161,17 @@ func NewFlarePluginWithFallback(fb FallbackConfig) *FlarePlugin {
 
 // Name implements has.Adapter.
 func (p *FlarePlugin) Name() string { return "flare" }
+
+// SetTransitionObserver installs a mode-transition callback (nil
+// removes it). The observer fires synchronously inside Deliver /
+// PollFailed, after the mode has changed.
+func (p *FlarePlugin) SetTransitionObserver(fn TransitionObserver) { p.onTransition = fn }
+
+func (p *FlarePlugin) notify(reason TransitionReason, count int) {
+	if p.onTransition != nil {
+		p.onTransition(p.mode, reason, count)
+	}
+}
 
 // SetAssignedBps installs the bitrate assigned by the OneAPI server
 // without sequence bookkeeping — the legacy push path. Prefer Deliver,
@@ -151,6 +197,7 @@ func (p *FlarePlugin) Deliver(bps float64, seq int64) {
 		if p.mode == ModeFallback {
 			p.mode = ModeCoordinated
 			p.transitions++
+			p.notify(ReasonFreshAssignment, 0)
 		}
 		return
 	}
@@ -160,6 +207,7 @@ func (p *FlarePlugin) Deliver(bps float64, seq int64) {
 	if p.mode == ModeCoordinated && p.staleBAIs >= p.fb.MaxAssignmentAgeBAIs {
 		p.mode = ModeFallback
 		p.transitions++
+		p.notify(ReasonStaleAssignment, p.staleBAIs)
 	}
 }
 
@@ -173,6 +221,7 @@ func (p *FlarePlugin) PollFailed() {
 	if p.mode == ModeCoordinated && p.failedPolls >= p.fb.AfterFailedPolls {
 		p.mode = ModeFallback
 		p.transitions++
+		p.notify(ReasonFailedPolls, p.failedPolls)
 	}
 }
 

@@ -1,0 +1,50 @@
+// Package buildinfo exposes one version string for every binary in the
+// repository, derived from the module build metadata stamped by the Go
+// toolchain (module version under `go install`, VCS revision under a
+// plain `go build` in a git checkout). Binaries wire it to a -version
+// flag so deployed artifacts are identifiable without guessing.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns a single-line version string: the module version when
+// stamped, otherwise the VCS revision (+dirty marker), otherwise
+// "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+}
+
+// Print writes the standard -version output for the named binary:
+// name, version, and the toolchain it was built with.
+func Print(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s (%s, %s/%s)\n", name, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

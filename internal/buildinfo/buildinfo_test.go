@@ -1,0 +1,30 @@
+package buildinfo_test
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/buildinfo"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if v := buildinfo.Version(); v == "" {
+		t.Fatal("Version() returned empty string")
+	}
+}
+
+func TestPrintFormat(t *testing.T) {
+	var buf bytes.Buffer
+	buildinfo.Print(&buf, "flaresim")
+	out := buf.String()
+	for _, want := range []string{"flaresim ", runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Print output missing %q: %q", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Print output not newline-terminated: %q", out)
+	}
+}

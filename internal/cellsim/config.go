@@ -16,6 +16,7 @@ import (
 	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/transport"
 )
 
@@ -202,6 +203,13 @@ type Config struct {
 	CollectSeries bool
 	// SampleEvery is the series sampling period (default 1 s).
 	SampleEvery time.Duration
+
+	// Obs attaches a telemetry recorder to the run: the engine stamps
+	// events with the simulated clock, the drivers and control plane
+	// emit their decisions into it, and RunContext dumps its flight
+	// recorder when a run dies. Nil (the default) disables recording at
+	// zero cost — disabled runs stay byte- and allocation-identical.
+	Obs *obs.Recorder
 
 	// DisableFastForward forces the naive TTI-by-TTI loop instead of the
 	// quiescence-aware kernel that jumps the clock across dead air (no

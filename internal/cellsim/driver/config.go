@@ -6,6 +6,7 @@ import (
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/oneapi"
 	"github.com/flare-sim/flare/internal/sim"
 )
@@ -58,4 +59,8 @@ type Config struct {
 	// BackgroundFlowIDs are those flows' bearer IDs, for drivers that
 	// register competing traffic with their control plane (FLARE's PCRF).
 	BackgroundFlowIDs []int
+
+	// Obs is the telemetry recorder for this cell's control plane (nil =
+	// recording disabled, the zero-cost default).
+	Obs *obs.Recorder
 }

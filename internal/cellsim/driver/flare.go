@@ -8,6 +8,7 @@ import (
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/oneapi"
 )
 
@@ -36,6 +37,9 @@ type flareDriver struct {
 	pollFaults  *faults.Injector
 	ctrl        ControlStats
 
+	// rec is the telemetry recorder (nil = disabled).
+	rec *obs.Recorder
+
 	// Buffer-feedback state: the active per-flow cap in bps (0 = none).
 	bufferCaps []float64
 }
@@ -47,9 +51,13 @@ var (
 )
 
 func newFlareDriver(cfg Config) (Controller, error) {
-	d := &flareDriver{cfg: cfg, server: cfg.OneAPI, cellID: cfg.CellID}
+	d := &flareDriver{cfg: cfg, server: cfg.OneAPI, cellID: cfg.CellID, rec: cfg.Obs}
 	if d.server == nil {
 		d.server = oneapi.NewServer(cfg.Flare, nil)
+	}
+	if cfg.Obs != nil {
+		// Never clobber a shared server's recorder with nil.
+		d.server.SetRecorder(cfg.Obs)
 	}
 	if cfg.ControlFaults.Enabled() {
 		// Independent streams so report fate never perturbs poll fate;
@@ -58,8 +66,23 @@ func newFlareDriver(cfg Config) (Controller, error) {
 		pollCfg.Seed = statsCfg.Seed ^ 0x9e3779b97f4a7c15
 		d.statsFaults = faults.New(statsCfg)
 		d.pollFaults = faults.New(pollCfg)
+		if cfg.Obs != nil {
+			d.statsFaults.SetObserver(faultObserver(cfg.Obs, cfg.CellID, obs.SiteStats))
+			d.pollFaults.SetObserver(faultObserver(cfg.Obs, cfg.CellID, obs.SitePoll))
+		}
 	}
 	return d, nil
+}
+
+// faultObserver adapts injected fault decisions into telemetry events
+// tagged with the control-plane site they struck.
+func faultObserver(rec *obs.Recorder, cellID int, site obs.Site) faults.Observer {
+	return func(_ time.Duration, dec faults.Decision) {
+		rec.Emit(obs.Event{
+			Kind: obs.KindFault, Cell: int32(cellID), Flow: -1,
+			Site: site, Outcome: uint8(dec.Outcome),
+		})
+	}
 }
 
 // Name implements Controller.
@@ -91,6 +114,32 @@ func (d *flareDriver) Init(e Engine, flows []*Flow) error {
 	}
 	for _, id := range d.cfg.BackgroundFlowIDs {
 		d.server.PCRF().RegisterDataFlow(d.cellID, id)
+	}
+	if d.rec.Enabled() {
+		// Wire each plugin's mode transitions into the trace, tagged
+		// with the flow the plugin serves.
+		for i := range flows {
+			if i >= len(d.plugins) || d.plugins[i] == nil {
+				continue
+			}
+			flowID := int32(flows[i].ID)
+			d.plugins[i].SetTransitionObserver(func(to abr.PluginMode, reason abr.TransitionReason, count int) {
+				kind := obs.KindRecover
+				why := obs.ReasonNone
+				if to == abr.ModeFallback {
+					kind = obs.KindFallback
+					if reason == abr.ReasonFailedPolls {
+						why = obs.ReasonPolls
+					} else {
+						why = obs.ReasonStale
+					}
+				}
+				d.rec.Emit(obs.Event{
+					Kind: kind, Cell: int32(d.cellID), Flow: flowID,
+					Reason: why, Streak: int32(count),
+				})
+			})
+		}
 	}
 	return nil
 }
@@ -168,6 +217,7 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 
 	if reportLost {
 		d.ctrl.ReportsLost++
+		d.rec.Emit(obs.Event{Kind: obs.KindReportLost, Cell: int32(d.cellID), Flow: -1, Site: obs.SiteStats})
 	} else {
 		d.sendBufferFeedback()
 		report := oneapi.StatsReport{Flows: d.e.CollectStats(d.flows), NumDataFlows: -1}
@@ -196,6 +246,7 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 		}
 		if d.pollFaults != nil && d.pollFaults.Decide(now).Lost() {
 			d.ctrl.PollsLost++
+			d.rec.Emit(obs.Event{Kind: obs.KindPollLost, Cell: int32(d.cellID), Flow: int32(f.ID), Site: obs.SitePoll})
 			plugin.PollFailed()
 			continue
 		}
@@ -205,6 +256,10 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 			// nothing to deliver, nothing failed.
 			continue
 		}
+		d.rec.Emit(obs.Event{
+			Kind: obs.KindDeliver, Cell: int32(d.cellID), Flow: int32(f.ID),
+			Seq: a.BAISeq, Level: int32(a.Level), Bps: a.RateBps,
+		})
 		plugin.Deliver(a.RateBps, a.BAISeq)
 	}
 	return nil

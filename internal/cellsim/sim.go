@@ -11,6 +11,7 @@ import (
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/oneapi"
 	"github.com/flare-sim/flare/internal/qoe"
 	"github.com/flare-sim/flare/internal/sim"
@@ -79,6 +80,8 @@ type Sim struct {
 	rng     *sim.RNG
 	channel lte.Channel
 	enb     *lte.ENodeB
+	rec     *obs.Recorder // cfg.Obs; nil = telemetry disabled
+	cellID  int
 
 	groups []*simGroup
 	// video is every group's flows concatenated, in flow-ID order.
@@ -141,7 +144,8 @@ func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 	groups := cfg.videoGroups()
 	cfg.NumVideo = totalCount(groups)
 
-	s := &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	s := &Sim{cfg: cfg, rng: sim.NewRNG(cfg.Seed), rec: cfg.Obs, cellID: cellID}
+	s.rec.SetNowTTI(s.env.NowTTI)
 	s.tickDirty = true
 	s.env.onFlowWake = func(*transport.Flow) { s.tickDirty = true }
 
@@ -211,6 +215,7 @@ func (s *Sim) buildDrivers(groups []FlowGroup, server *oneapi.Server, cellID int
 			CellID:              cellID,
 			BackgroundFlows:     len(background),
 			BackgroundFlowIDs:   background,
+			Obs:                 s.cfg.Obs,
 		}
 		ctrl, err := driver.New(fg.Scheme.String(), dcfg)
 		if err != nil {
@@ -321,6 +326,16 @@ func (s *Sim) buildVideo() error {
 			}
 			player.OnSegment = func(rec has.SegmentRecord) {
 				g.ctrl.OnSegmentComplete(f, rec)
+			}
+			if s.rec.Enabled() {
+				flowID := int32(f.ID)
+				player.OnStall = func(started bool) {
+					kind := obs.KindStallEnd
+					if started {
+						kind = obs.KindStallStart
+					}
+					s.rec.Emit(obs.Event{Kind: kind, Cell: int32(s.cellID), Flow: flowID})
+				}
 			}
 			g.flows = append(g.flows, f)
 			s.video = append(s.video, f)
@@ -455,11 +470,15 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 			if len(s.cfg.VideoArrivals) > 0 {
 				startTTI = sim.DurationToTTIs(s.cfg.VideoArrivals[f.ID])
 			}
-			s.env.events.Schedule(startTTI, p.Start)
+			s.env.events.Schedule(startTTI, func() {
+				s.rec.Emit(obs.Event{Kind: obs.KindFlowStart, Cell: int32(s.cellID), Flow: int32(f.ID)})
+				p.Start()
+			})
 			if len(s.cfg.VideoDepartures) > 0 && s.cfg.VideoDepartures[f.ID] > 0 {
 				s.env.events.Schedule(sim.DurationToTTIs(s.cfg.VideoDepartures[f.ID]), func() {
 					p.Stop()
 					g.ctrl.OnFlowDeparture(f)
+					s.rec.Emit(obs.Event{Kind: obs.KindFlowDepart, Cell: int32(s.cellID), Flow: int32(f.ID)})
 				})
 			}
 		}
@@ -500,11 +519,15 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 		err = s.runFast(ctx, durTTIs, sampleTTIs)
 	}
 	if err != nil {
+		// Crash context: the flight recorder holds the last decisions
+		// leading up to the failure.
+		s.rec.DumpOnError(err)
 		return nil, err
 	}
 	res := s.buildResult()
 	for _, g := range s.groups {
 		if err := g.ctrl.Close(); err != nil {
+			s.rec.DumpOnError(err)
 			return res, err
 		}
 	}
@@ -587,6 +610,7 @@ func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
 		if s.quiescent() {
 			if w := s.wakeTTI(tti, durTTIs, sampleTTIs); w > next {
 				s.enb.FastForwardIdle(tti, w)
+				s.rec.Emit(obs.Event{Kind: obs.KindFastForward, Cell: int32(s.cellID), Flow: -1, TTI: tti, To: w})
 				next = w
 			}
 		}

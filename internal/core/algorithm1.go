@@ -32,23 +32,32 @@ func (g *Gate) required(prevLevel int) int {
 // assignment yet; the first recommendation is applied directly (the
 // optimiser already restricts new flows to the lowest level).
 func (g *Gate) Apply(flowID, prevLevel, recommended int) int {
+	final, _, _ := g.ApplyDetail(flowID, prevLevel, recommended)
+	return final
+}
+
+// ApplyDetail is Apply plus the gate's internal state for telemetry:
+// streak is the up-recommendation streak after this BAI (0 whenever it
+// was reset or consumed) and need is the streak length a pending
+// up-switch from prevLevel must reach (0 when no up-step is pending).
+func (g *Gate) ApplyDetail(flowID, prevLevel, recommended int) (final, streak, need int) {
 	if prevLevel < 0 {
 		g.streaks[flowID] = 0
-		return recommended
+		return recommended, 0, 0
 	}
 	if recommended == prevLevel+1 {
 		g.streaks[flowID]++
 		if g.delta <= 0 || g.streaks[flowID] >= g.required(prevLevel) {
 			g.streaks[flowID] = 0
-			return prevLevel + 1
+			return prevLevel + 1, 0, 0
 		}
-		return prevLevel
+		return prevLevel, g.streaks[flowID], g.required(prevLevel)
 	}
 	g.streaks[flowID] = 0
 	if recommended < prevLevel {
-		return recommended
+		return recommended, 0, 0
 	}
-	return prevLevel
+	return prevLevel, 0, 0
 }
 
 // Forget drops the streak state of a departed flow.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
+	"github.com/flare-sim/flare/internal/obs"
 )
 
 // DefaultBytesPerRB is the radio-cost prior used for a flow that has not
@@ -135,6 +136,10 @@ type Controller struct {
 	flows map[int]*ctrlFlow
 
 	solveTimes []time.Duration
+
+	rec    *obs.Recorder // nil = telemetry disabled
+	cellID int32
+	baiSeq int64
 }
 
 // NewController builds a controller. Invalid config fields fall back to
@@ -172,6 +177,13 @@ func NewController(cfg Config) *Controller {
 		gate:  NewGate(cfg.Delta),
 		flows: make(map[int]*ctrlFlow),
 	}
+}
+
+// SetRecorder attaches a telemetry recorder (nil disables recording)
+// and names the cell this controller serves in emitted events.
+func (c *Controller) SetRecorder(rec *obs.Recorder, cellID int) {
+	c.rec = rec
+	c.cellID = int32(cellID)
 }
 
 // Config returns the controller configuration.
@@ -333,15 +345,44 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 	} else {
 		sol, err = c.exact.Solve(&prob)
 	}
-	c.solveTimes = append(c.solveTimes, time.Since(start))
+	elapsed := time.Since(start)
+	c.solveTimes = append(c.solveTimes, elapsed)
 	if err != nil {
 		return nil, fmt.Errorf("core: BAI solve: %w", err)
 	}
+	c.baiSeq++
+	c.rec.Emit(obs.Event{
+		Kind:  obs.KindBAISolve,
+		Cell:  c.cellID,
+		Flow:  -1,
+		Seq:   c.baiSeq,
+		Need:  int32(numDataFlows),
+		RBs:   int64(prob.TotalRBs),
+		Value: sol.Objective,
+		DurNs: elapsed.Nanoseconds(),
+	})
 
 	out := make([]Assignment, len(ids))
 	for i, id := range ids {
 		f := c.flows[id]
-		final := c.gate.Apply(id, f.level, sol.Levels[i])
+		final, streak, need := c.gate.ApplyDetail(id, f.level, sol.Levels[i])
+		if c.rec.Enabled() {
+			s := stats[id]
+			c.rec.Emit(obs.Event{
+				Kind:   obs.KindClamp,
+				Cell:   c.cellID,
+				Flow:   int32(id),
+				Seq:    c.baiSeq,
+				Reco:   int32(sol.Levels[i]),
+				Level:  int32(final),
+				Prev:   int32(f.level),
+				Streak: int32(streak),
+				Need:   int32(need),
+				Bytes:  s.Bytes,
+				RBs:    s.RBs,
+				Bps:    f.ladder.Rate(final),
+			})
+		}
 		f.level = final
 		out[i] = Assignment{
 			FlowID:  id,

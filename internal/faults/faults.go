@@ -153,15 +153,21 @@ type Counts struct {
 	BlackoutDrops int64
 }
 
+// Observer is notified of every injected (non-Pass) decision, outside
+// the injector's lock. The telemetry layer uses it to turn injected
+// faults into trace events without the injector importing obs.
+type Observer func(now time.Duration, d Decision)
+
 // Injector makes deterministic per-exchange fault decisions. It is safe
 // for concurrent use (the HTTP transport shares one across goroutines);
 // under concurrency the decision *sequence* stays deterministic while
 // the assignment of decisions to callers follows arrival order.
 type Injector struct {
-	mu     sync.Mutex
-	cfg    Config
-	rng    *sim.RNG
-	counts Counts
+	mu       sync.Mutex
+	cfg      Config
+	rng      *sim.RNG
+	counts   Counts
+	observer Observer
 }
 
 // New builds an injector; a nil return never occurs, and a zero Config
@@ -180,9 +186,31 @@ func (in *Injector) Config() Config {
 // Enabled reports whether the injector can ever inject a fault.
 func (in *Injector) Enabled() bool { return in.Config().Enabled() }
 
+// SetObserver installs a decision observer (nil removes it). It fires
+// synchronously in Decide, after the counters are updated and the lock
+// is released, for every decision whose outcome is not Pass.
+func (in *Injector) SetObserver(fn Observer) {
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
+}
+
 // Decide seals the fate of one exchange occurring at time now. A
 // disabled injector returns Pass without consuming randomness.
 func (in *Injector) Decide(now time.Duration) Decision {
+	d := in.decideLocked(now)
+	if d.Outcome != Pass {
+		in.mu.Lock()
+		fn := in.observer
+		in.mu.Unlock()
+		if fn != nil {
+			fn(now, d)
+		}
+	}
+	return d
+}
+
+func (in *Injector) decideLocked(now time.Duration) Decision {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.counts.Total++

@@ -1,0 +1,57 @@
+// Package graceful runs an http.Server until SIGINT/SIGTERM and then
+// drains in-flight requests under a deadline — the shared shutdown path
+// for the repository's long-running binaries (oneapiserver,
+// mediaserver). Extracted so both servers stop the same way: first
+// signal starts an orderly drain, second signal kills the process
+// (default Go signal behavior is restored as soon as the drain begins).
+package graceful
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// DefaultGrace bounds the drain when callers pass grace <= 0.
+const DefaultGrace = 5 * time.Second
+
+// Serve runs srv until it fails or the process receives SIGINT or
+// SIGTERM, then shuts it down gracefully, allowing in-flight requests
+// up to grace to complete. logf (optional) receives one message when
+// the drain begins. http.ErrServerClosed is folded into a nil return;
+// any other listen or shutdown error is returned.
+func Serve(srv *http.Server, grace time.Duration, logf func(format string, args ...any)) error {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		stop() // second signal falls through to the default handler
+		if logf != nil {
+			logf("shutting down: draining in-flight requests (up to %v)", grace)
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		// The listener goroutine exits with http.ErrServerClosed.
+		<-errCh
+		return nil
+	}
+}

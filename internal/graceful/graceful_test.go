@@ -1,0 +1,58 @@
+package graceful_test
+
+import (
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/flare-sim/flare/internal/graceful"
+)
+
+// TestServeStopsOnSignal starts a server, delivers SIGTERM to the test
+// process, and asserts Serve drains and returns nil promptly.
+func TestServeStopsOnSignal(t *testing.T) {
+	srv := &http.Server{
+		Addr:    "127.0.0.1:0",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+	}
+	var logged bool
+	done := make(chan error, 1)
+	go func() {
+		done <- graceful.Serve(srv, time.Second, func(string, ...any) { logged = true })
+	}()
+
+	// Give Serve time to install its signal handler; before that a
+	// SIGTERM would kill the test binary outright.
+	time.Sleep(200 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after graceful drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after SIGTERM")
+	}
+	if !logged {
+		t.Fatal("drain message was not logged")
+	}
+}
+
+// TestServeReportsListenError pins that a bind failure surfaces as an
+// error instead of hanging until a signal.
+func TestServeReportsListenError(t *testing.T) {
+	srv := &http.Server{Addr: "256.256.256.256:0"}
+	done := make(chan error, 1)
+	go func() { done <- graceful.Serve(srv, time.Second, nil) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve returned nil for an unbindable address")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung on listen error")
+	}
+}

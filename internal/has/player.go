@@ -107,6 +107,10 @@ type Player struct {
 
 	// OnSegment, if set, is invoked after each completed segment.
 	OnSegment func(rec SegmentRecord)
+	// OnStall, if set, is invoked when a rebuffering stall begins
+	// (started=true) and when playback resumes from one (started=false).
+	// Initial startup delay and end-of-presentation drain do not fire it.
+	OnStall func(started bool)
 
 	nextSeg     int
 	lastQuality int
@@ -270,6 +274,9 @@ func (p *Player) advance(now int64) {
 		p.stalled = true
 		p.stallCount++
 		p.stallSeconds += stallDt
+		if p.OnStall != nil {
+			p.OnStall(true)
+		}
 		return
 	}
 	if p.stalled {
@@ -289,11 +296,15 @@ func (p *Player) totalSegments() int {
 func (p *Player) maybeStartPlayback() {
 	threshold := float64(p.cfg.StartupSegments) * p.mpd.SegmentSeconds()
 	if !p.playing && p.buffer >= threshold {
+		wasStalled := p.stalled
 		p.playing = true
 		p.stalled = false
 		if !p.everPlayed {
 			p.everPlayed = true
 			p.startupTTI = p.lastTTI
+		}
+		if wasStalled && p.OnStall != nil {
+			p.OnStall(false)
 		}
 	}
 }

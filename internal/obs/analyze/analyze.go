@@ -1,0 +1,371 @@
+// Package analyze reconstructs decision-level narratives from a FLARE
+// telemetry event stream (internal/obs): per-flow decision timelines,
+// per-cell solver summaries, and the causal chains behind fallback
+// transitions and playback stalls. It is the library under
+// cmd/flaretrace and works directly off []obs.Event, so tests and
+// in-process tools can analyze a MemorySink without a round trip
+// through JSONL.
+package analyze
+
+import (
+	"sort"
+
+	"github.com/flare-sim/flare/internal/obs"
+)
+
+// DefaultTTIsPerSecond converts TTI stamps to seconds in reports (the
+// LTE 1 ms TTI).
+const DefaultTTIsPerSecond = 1000.0
+
+// Options parameterises an analysis.
+type Options struct {
+	// TTIsPerSecond converts TTI stamps to seconds; 0 means the LTE
+	// default (1000).
+	TTIsPerSecond float64
+}
+
+// SolverStats summarises one cell's BAI solves.
+type SolverStats struct {
+	Cell         int32
+	Solves       int
+	MeanNs       int64
+	P50Ns        int64
+	P95Ns        int64
+	MaxNs        int64
+	MeanValue    float64 // mean Eq. 2/3 objective
+	LastValue    float64
+	FirstTTI     int64
+	LastTTI      int64
+	InstallFails int // install failures across the cell's flows
+}
+
+// FlowTimeline is one flow's decision history.
+type FlowTimeline struct {
+	Flow int32
+	Cell int32
+	// Events holds every flow-scoped event, in stream order.
+	Events []obs.Event
+
+	Installs     int
+	InstallFails int
+	Delivers     int
+	PollsLost    int
+	Clamps       int
+	ClampHolds   int // BAIs where the gate held below the recommendation
+	Fallbacks    int
+	Recoveries   int
+	Retries      int
+	Stalls       []Stall
+
+	FirstLevel int32
+	LastLevel  int32
+	MaxLevel   int32
+	LastBps    float64
+}
+
+// Stall is one rebuffering interval, annotated with what the control
+// plane was doing to the flow when it began.
+type Stall struct {
+	Flow     int32
+	StartTTI int64
+	EndTTI   int64 // -1 when the trace ends mid-stall
+	// InFallback reports whether the flow's plugin was degraded when
+	// the stall began — the root-cause hint that separates "control
+	// plane lost" stalls from radio-capacity ones.
+	InFallback bool
+	// LastEvent is the flow's last control-plane event before the
+	// stall (zero Kind when none) — the decision nearest the cause.
+	LastEvent obs.Event
+}
+
+// Chain is the full causal chain of one fallback transition: the
+// contributing failures, the transition itself, and (when the trace
+// includes it) the recovery.
+type Chain struct {
+	Flow   int32
+	Cell   int32
+	Reason obs.Reason // why the plugin degraded
+	// Causes are the contributing events, oldest first: the consecutive
+	// lost polls (ReasonPolls) or same-sequence deliveries
+	// (ReasonStale) that tripped the detector.
+	Causes []obs.Event
+	// Faults are the cell-scoped injected faults that struck between
+	// the first cause and the transition — the ground truth behind the
+	// lost exchanges when fault injection produced them.
+	Faults []obs.Event
+	// FallbackTTI is when the plugin degraded.
+	FallbackTTI int64
+	// RecoverTTI is when it rejoined coordination; -1 if the trace ends
+	// degraded.
+	RecoverTTI int64
+	// RecoverSeq is the fresh assignment sequence that restored
+	// coordination (0 when not recovered).
+	RecoverSeq int64
+}
+
+// Recovered reports whether the chain closes with a recovery.
+func (c *Chain) Recovered() bool { return c.RecoverTTI >= 0 }
+
+// Analysis is the reconstructed view of one trace.
+type Analysis struct {
+	Events  int
+	Solvers []SolverStats   // per cell, ascending cell ID
+	Flows   []*FlowTimeline // ascending flow ID
+	Chains  []*Chain        // in transition order
+	Stalls  []Stall         // in start order
+
+	TTIsPerSecond float64
+}
+
+// Seconds converts a TTI stamp to seconds for display.
+func (a *Analysis) Seconds(tti int64) float64 {
+	return float64(tti) / a.TTIsPerSecond
+}
+
+// Flow returns the timeline for one flow (nil if absent).
+func (a *Analysis) Flow(id int32) *FlowTimeline {
+	for _, f := range a.Flows {
+		if f.Flow == id {
+			return f
+		}
+	}
+	return nil
+}
+
+type solverAcc struct {
+	durs   []int64
+	values float64
+	stats  SolverStats
+}
+
+// Analyze reconstructs timelines, solver summaries, and causal chains
+// from an event stream (as returned by obs.ReadJSONL, Recorder.Snapshot
+// or MemorySink.Events). Events must be in emission order.
+func Analyze(events []obs.Event, opts Options) *Analysis {
+	if opts.TTIsPerSecond <= 0 {
+		opts.TTIsPerSecond = DefaultTTIsPerSecond
+	}
+	a := &Analysis{Events: len(events), TTIsPerSecond: opts.TTIsPerSecond}
+
+	solvers := map[int32]*solverAcc{}
+	flows := map[int32]*FlowTimeline{}
+	cellFaults := map[int32][]obs.Event{}
+	openChains := map[int32]*Chain{}
+	openStalls := map[int32]*Stall{}
+	inFallback := map[int32]bool{}
+
+	flowOf := func(e *obs.Event) *FlowTimeline {
+		f, ok := flows[e.Flow]
+		if !ok {
+			f = &FlowTimeline{Flow: e.Flow, Cell: e.Cell, FirstLevel: -1, LastLevel: -1, MaxLevel: -1}
+			flows[e.Flow] = f
+		}
+		return f
+	}
+
+	for i := range events {
+		e := events[i]
+		switch e.Kind {
+		case obs.KindBAISolve:
+			s, ok := solvers[e.Cell]
+			if !ok {
+				s = &solverAcc{stats: SolverStats{Cell: e.Cell, FirstTTI: e.TTI}}
+				solvers[e.Cell] = s
+			}
+			s.stats.Solves++
+			s.stats.LastTTI = e.TTI
+			s.stats.LastValue = e.Value
+			s.values += e.Value
+			s.durs = append(s.durs, e.DurNs)
+			if e.DurNs > s.stats.MaxNs {
+				s.stats.MaxNs = e.DurNs
+			}
+		case obs.KindFault:
+			cellFaults[e.Cell] = append(cellFaults[e.Cell], e)
+		}
+		if e.Flow < 0 {
+			continue
+		}
+		f := flowOf(&e)
+		f.Events = append(f.Events, e)
+		switch e.Kind {
+		case obs.KindInstall:
+			f.Installs++
+			f.LastLevel = e.Level
+			f.LastBps = e.Bps
+			if f.FirstLevel < 0 {
+				f.FirstLevel = e.Level
+			}
+			if e.Level > f.MaxLevel {
+				f.MaxLevel = e.Level
+			}
+		case obs.KindInstallFail:
+			f.InstallFails++
+			if s, ok := solvers[e.Cell]; ok {
+				s.stats.InstallFails++
+			}
+		case obs.KindClamp:
+			f.Clamps++
+			if e.Level < e.Reco {
+				f.ClampHolds++
+			}
+		case obs.KindDeliver:
+			f.Delivers++
+			// A fresh delivery closes a pending fallback chain when the
+			// recover event follows; remember it as candidate evidence.
+		case obs.KindPollLost:
+			f.PollsLost++
+		case obs.KindRetry:
+			f.Retries++
+		case obs.KindFallback:
+			f.Fallbacks++
+			inFallback[e.Flow] = true
+			ch := &Chain{
+				Flow: e.Flow, Cell: e.Cell, Reason: e.Reason,
+				FallbackTTI: e.TTI, RecoverTTI: -1,
+			}
+			ch.Causes = trailingCauses(f.Events[:len(f.Events)-1], e.Reason)
+			if len(ch.Causes) > 0 {
+				from := ch.Causes[0].TTI
+				for _, fe := range cellFaults[e.Cell] {
+					if fe.TTI >= from && fe.TTI <= e.TTI {
+						ch.Faults = append(ch.Faults, fe)
+					}
+				}
+			}
+			openChains[e.Flow] = ch
+			a.Chains = append(a.Chains, ch)
+		case obs.KindRecover:
+			f.Recoveries++
+			inFallback[e.Flow] = false
+			if ch := openChains[e.Flow]; ch != nil {
+				ch.RecoverTTI = e.TTI
+				// The fresh delivery that restored coordination
+				// immediately precedes the recover event.
+				if d := lastOfKind(f.Events[:len(f.Events)-1], obs.KindDeliver); d != nil {
+					ch.RecoverSeq = d.Seq
+				}
+				delete(openChains, e.Flow)
+			}
+		case obs.KindStallStart:
+			st := &Stall{
+				Flow: e.Flow, StartTTI: e.TTI, EndTTI: -1,
+				InFallback: inFallback[e.Flow],
+			}
+			if len(f.Events) > 1 {
+				st.LastEvent = lastControlEvent(f.Events[:len(f.Events)-1])
+			}
+			openStalls[e.Flow] = st
+		case obs.KindStallEnd:
+			if st := openStalls[e.Flow]; st != nil {
+				st.EndTTI = e.TTI
+				f.Stalls = append(f.Stalls, *st)
+				a.Stalls = append(a.Stalls, *st)
+				delete(openStalls, e.Flow)
+			}
+		}
+	}
+	// Trace ended mid-stall: keep the open stalls with EndTTI -1.
+	for _, st := range openStalls {
+		if f := flows[st.Flow]; f != nil {
+			f.Stalls = append(f.Stalls, *st)
+		}
+		a.Stalls = append(a.Stalls, *st)
+	}
+	sort.Slice(a.Stalls, func(i, j int) bool { return a.Stalls[i].StartTTI < a.Stalls[j].StartTTI })
+
+	for _, s := range solvers {
+		if s.stats.Solves > 0 {
+			s.stats.MeanValue = s.values / float64(s.stats.Solves)
+			var total int64
+			for _, d := range s.durs {
+				total += d
+			}
+			s.stats.MeanNs = total / int64(len(s.durs))
+			sort.Slice(s.durs, func(i, j int) bool { return s.durs[i] < s.durs[j] })
+			s.stats.P50Ns = quantileNs(s.durs, 0.50)
+			s.stats.P95Ns = quantileNs(s.durs, 0.95)
+		}
+		a.Solvers = append(a.Solvers, s.stats)
+	}
+	sort.Slice(a.Solvers, func(i, j int) bool { return a.Solvers[i].Cell < a.Solvers[j].Cell })
+
+	for _, f := range flows {
+		a.Flows = append(a.Flows, f)
+	}
+	sort.Slice(a.Flows, func(i, j int) bool { return a.Flows[i].Flow < a.Flows[j].Flow })
+	return a
+}
+
+// trailingCauses walks a flow's history backwards collecting the
+// consecutive contributing events for a fallback with the given reason:
+// lost polls for ReasonPolls, same-sequence deliveries for ReasonStale.
+func trailingCauses(history []obs.Event, reason obs.Reason) []obs.Event {
+	var causes []obs.Event
+	wantSeq := int64(-1)
+	for i := len(history) - 1; i >= 0; i-- {
+		e := history[i]
+		switch reason {
+		case obs.ReasonPolls:
+			if e.Kind != obs.KindPollLost {
+				return reverse(causes)
+			}
+		case obs.ReasonStale:
+			if e.Kind != obs.KindDeliver {
+				return reverse(causes)
+			}
+			if wantSeq < 0 {
+				wantSeq = e.Seq
+			} else if e.Seq != wantSeq {
+				return reverse(causes)
+			}
+		default:
+			return reverse(causes)
+		}
+		causes = append(causes, e)
+	}
+	return reverse(causes)
+}
+
+func reverse(ev []obs.Event) []obs.Event {
+	for i, j := 0, len(ev)-1; i < j; i, j = i+1, j-1 {
+		ev[i], ev[j] = ev[j], ev[i]
+	}
+	return ev
+}
+
+func lastOfKind(history []obs.Event, kind obs.Kind) *obs.Event {
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].Kind == kind {
+			return &history[i]
+		}
+	}
+	return nil
+}
+
+// lastControlEvent returns the flow's most recent control-plane event
+// (anything but stall markers), or a zero event.
+func lastControlEvent(history []obs.Event) obs.Event {
+	for i := len(history) - 1; i >= 0; i-- {
+		k := history[i].Kind
+		if k != obs.KindStallStart && k != obs.KindStallEnd {
+			return history[i]
+		}
+	}
+	return obs.Event{}
+}
+
+// quantileNs returns the q-quantile of sorted durations (nearest rank).
+func quantileNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)) + 0.5)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

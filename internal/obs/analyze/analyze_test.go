@@ -1,0 +1,199 @@
+package analyze_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/faults"
+	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/obs"
+	"github.com/flare-sim/flare/internal/obs/analyze"
+)
+
+// TestAnalyzeSyntheticChain checks chain reconstruction on a hand-built
+// stream: three lost polls cause a fallback, a fresh delivery recovers.
+func TestAnalyzeSyntheticChain(t *testing.T) {
+	ev := []obs.Event{
+		{Kind: obs.KindFlowStart, TTI: 0, Flow: 3},
+		{Kind: obs.KindDeliver, TTI: 1000, Flow: 3, Seq: 1, Bps: 1e6},
+		{Kind: obs.KindFault, TTI: 1900, Flow: -1, Site: obs.SitePoll, Outcome: 1},
+		{Kind: obs.KindPollLost, TTI: 2000, Flow: 3, Site: obs.SitePoll},
+		{Kind: obs.KindPollLost, TTI: 3000, Flow: 3, Site: obs.SitePoll},
+		{Kind: obs.KindPollLost, TTI: 4000, Flow: 3, Site: obs.SitePoll},
+		{Kind: obs.KindFallback, TTI: 4000, Flow: 3, Reason: obs.ReasonPolls, Streak: 3},
+		{Kind: obs.KindStallStart, TTI: 5000, Flow: 3},
+		{Kind: obs.KindStallEnd, TTI: 7000, Flow: 3},
+		{Kind: obs.KindDeliver, TTI: 9000, Flow: 3, Seq: 9, Bps: 2e6},
+		{Kind: obs.KindRecover, TTI: 9000, Flow: 3},
+	}
+	a := analyze.Analyze(ev, analyze.Options{})
+	if len(a.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(a.Chains))
+	}
+	c := a.Chains[0]
+	if c.Flow != 3 || c.Reason != obs.ReasonPolls {
+		t.Fatalf("chain = %+v", c)
+	}
+	if len(c.Causes) != 3 {
+		t.Fatalf("causes = %d, want 3 lost polls", len(c.Causes))
+	}
+	if len(c.Faults) != 0 {
+		// The injected fault precedes the first cause (TTI 1900 < 2000).
+		t.Fatalf("faults in window = %d, want 0", len(c.Faults))
+	}
+	if !c.Recovered() || c.RecoverTTI != 9000 || c.RecoverSeq != 9 {
+		t.Fatalf("recovery = TTI %d seq %d", c.RecoverTTI, c.RecoverSeq)
+	}
+	if len(a.Stalls) != 1 || !a.Stalls[0].InFallback {
+		t.Fatalf("stalls = %+v, want one in-fallback stall", a.Stalls)
+	}
+	f := a.Flow(3)
+	if f == nil || f.PollsLost != 3 || f.Fallbacks != 1 || f.Recoveries != 1 {
+		t.Fatalf("flow timeline = %+v", f)
+	}
+
+	var buf bytes.Buffer
+	if err := analyze.WriteReport(&buf, a); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fallback causal chains", "degraded (consecutive failed polls) after 3 lost polls", "recovered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCausalChainFromFaultedRun is the end-to-end acceptance test: a
+// recorded FLARE cell with a control-plane blackout (the ext-faults
+// scenario shape) must yield at least one complete causal chain — poll
+// losses -> fallback -> recovery after the blackout lifts — when its
+// trace is analyzed.
+func TestCausalChainFromFaultedRun(t *testing.T) {
+	mem := obs.NewMemorySink()
+	rec := obs.New(obs.Options{RingSize: -1, Sinks: []obs.Sink{mem}})
+
+	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	cfg.Duration = 120 * time.Second
+	cfg.NumVideo = 4
+	cfg.Player = has.DefaultPlayerConfig()
+	third := cfg.Duration / 3
+	cfg.ControlFaults = faults.Config{
+		Seed:      0xfa_17_5eed,
+		Blackouts: []faults.Window{{From: third, To: 2 * third}},
+	}
+	cfg.Obs = rec
+	if _, err := cellsim.Run(cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	events := mem.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	a := analyze.Analyze(events, analyze.Options{})
+	if len(a.Chains) == 0 {
+		t.Fatal("no fallback chains reconstructed from blackout run")
+	}
+	var full *analyze.Chain
+	for _, c := range a.Chains {
+		if c.Reason == obs.ReasonPolls && len(c.Causes) >= 3 && c.Recovered() {
+			full = c
+			break
+		}
+	}
+	if full == nil {
+		t.Fatalf("no complete poll-loss chain among %d chains: %+v", len(a.Chains), a.Chains[0])
+	}
+	// Every link of the chain must be causally ordered: causes strictly
+	// before the transition, recovery strictly after.
+	for _, cause := range full.Causes {
+		if cause.Kind != obs.KindPollLost || cause.TTI > full.FallbackTTI {
+			t.Fatalf("cause %+v not a poll loss before fallback @%d", cause, full.FallbackTTI)
+		}
+	}
+	if full.RecoverTTI <= full.FallbackTTI {
+		t.Fatalf("recovery @%d not after fallback @%d", full.RecoverTTI, full.FallbackTTI)
+	}
+	if full.RecoverSeq <= 0 {
+		t.Fatalf("recovery carries no fresh assignment seq: %+v", full)
+	}
+	// The blackout is the root cause: injected faults must appear in
+	// the chain's window.
+	if len(full.Faults) == 0 {
+		t.Fatal("chain window contains no injected faults despite blackout")
+	}
+
+	// The report must narrate the chain end to end.
+	var buf bytes.Buffer
+	if err := analyze.WriteReport(&buf, a); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BAI solver", "fallback causal chains", "injected faults in window", "recovered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The same trace must round-trip through JSONL unchanged.
+	var jl bytes.Buffer
+	sink := obs.NewJSONLSink(&jl)
+	for i := range events {
+		if err := sink.Write(&events[i]); err != nil {
+			t.Fatalf("sink write: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("sink close: %v", err)
+	}
+	back, err := obs.ReadJSONL(bytes.NewReader(jl.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("JSONL round trip: %d events, want %d", len(back), len(events))
+	}
+	a2 := analyze.Analyze(back, analyze.Options{})
+	if len(a2.Chains) != len(a.Chains) {
+		t.Fatalf("chains after round trip: %d, want %d", len(a2.Chains), len(a.Chains))
+	}
+}
+
+// TestRecordingDoesNotPerturbResults asserts the zero-interference
+// contract: a recorded run and an unrecorded run of the same faulted
+// configuration produce identical results.
+func TestRecordingDoesNotPerturbResults(t *testing.T) {
+	base := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	base.Duration = 60 * time.Second
+	base.NumVideo = 3
+	base.Player = has.DefaultPlayerConfig()
+	base.ControlFaults = faults.Config{Seed: 7, DropRate: 0.3}
+
+	plain, err := cellsim.Run(base)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	recorded := base
+	recorded.Obs = obs.New(obs.Options{RingSize: 1024})
+	got, err := cellsim.Run(recorded)
+	if err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+	if len(plain.Clients) != len(got.Clients) {
+		t.Fatalf("client counts differ: %d vs %d", len(plain.Clients), len(got.Clients))
+	}
+	for i := range plain.Clients {
+		p, g := plain.Clients[i], got.Clients[i]
+		if p != g {
+			t.Fatalf("client %d diverged with recording:\n %+v\n %+v", i, p, g)
+		}
+	}
+	if snap := recorded.Obs.Snapshot(); len(snap) == 0 {
+		t.Fatal("recorded run produced no events")
+	}
+}

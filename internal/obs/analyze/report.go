@@ -1,0 +1,165 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/flare-sim/flare/internal/obs"
+)
+
+// WriteReport renders the analysis as the human-facing flaretrace
+// report: solver summaries, per-flow timelines, fallback causal chains,
+// and stall annotations.
+func WriteReport(w io.Writer, a *Analysis) error {
+	bw := &errWriter{w: w}
+	bw.printf("trace: %d events\n", a.Events)
+
+	if len(a.Solvers) > 0 {
+		bw.printf("\n== BAI solver ==\n")
+		for _, s := range a.Solvers {
+			bw.printf("cell %d: %d solves over t=%.1fs..%.1fs  latency mean %s p50 %s p95 %s max %s  objective mean %.2f last %.2f",
+				s.Cell, s.Solves, a.Seconds(s.FirstTTI), a.Seconds(s.LastTTI),
+				ns(s.MeanNs), ns(s.P50Ns), ns(s.P95Ns), ns(s.MaxNs),
+				s.MeanValue, s.LastValue)
+			if s.InstallFails > 0 {
+				bw.printf("  install failures %d", s.InstallFails)
+			}
+			bw.printf("\n")
+		}
+	}
+
+	if len(a.Flows) > 0 {
+		bw.printf("\n== flows ==\n")
+		for _, f := range a.Flows {
+			bw.printf("flow %d: levels first/last/max %d/%d/%d (%.2f Mbps last)  installs %d (%d failed)  delivers %d  polls lost %d",
+				f.Flow, f.FirstLevel, f.LastLevel, f.MaxLevel, f.LastBps/1e6,
+				f.Installs, f.InstallFails, f.Delivers, f.PollsLost)
+			if f.Clamps > 0 {
+				bw.printf("  clamps %d (%d held)", f.Clamps, f.ClampHolds)
+			}
+			if f.Fallbacks > 0 || f.Recoveries > 0 {
+				bw.printf("  fallbacks %d recoveries %d", f.Fallbacks, f.Recoveries)
+			}
+			if f.Retries > 0 {
+				bw.printf("  retries %d", f.Retries)
+			}
+			if n := len(f.Stalls); n > 0 {
+				bw.printf("  stalls %d", n)
+			}
+			bw.printf("\n")
+		}
+	}
+
+	if len(a.Chains) > 0 {
+		bw.printf("\n== fallback causal chains ==\n")
+		for _, c := range a.Chains {
+			bw.printf("flow %d @t=%.1fs: degraded (%s) after %d %s",
+				c.Flow, a.Seconds(c.FallbackTTI), reasonText(c.Reason),
+				len(c.Causes), causeNoun(c.Reason, len(c.Causes)))
+			if len(c.Faults) > 0 {
+				bw.printf(" [%d injected faults in window]", len(c.Faults))
+			}
+			if c.Recovered() {
+				bw.printf(" -> recovered @t=%.1fs (fresh assignment seq %d, degraded %.1fs)",
+					a.Seconds(c.RecoverTTI), c.RecoverSeq,
+					a.Seconds(c.RecoverTTI-c.FallbackTTI))
+			} else {
+				bw.printf(" -> never recovered in trace")
+			}
+			bw.printf("\n")
+		}
+	}
+
+	if len(a.Stalls) > 0 {
+		bw.printf("\n== stalls ==\n")
+		for _, st := range a.Stalls {
+			if st.EndTTI >= 0 {
+				bw.printf("flow %d @t=%.1fs: stalled %.1fs", st.Flow, a.Seconds(st.StartTTI), a.Seconds(st.EndTTI-st.StartTTI))
+			} else {
+				bw.printf("flow %d @t=%.1fs: stalled (unresolved at trace end)", st.Flow, a.Seconds(st.StartTTI))
+			}
+			if st.InFallback {
+				bw.printf("  [in fallback: control plane degraded]")
+			}
+			if st.LastEvent.Kind != obs.KindNone {
+				bw.printf("  last control event: %s @t=%.1fs", st.LastEvent.Kind, a.Seconds(st.LastEvent.TTI))
+			}
+			bw.printf("\n")
+		}
+	}
+	return bw.err
+}
+
+// WriteFlowTimeline renders one flow's full decision timeline, one
+// event per line — the drill-down view behind flaretrace -flow.
+func WriteFlowTimeline(w io.Writer, a *Analysis, flowID int32) error {
+	f := a.Flow(flowID)
+	if f == nil {
+		return fmt.Errorf("analyze: flow %d not in trace", flowID)
+	}
+	bw := &errWriter{w: w}
+	bw.printf("flow %d timeline (%d events)\n", flowID, len(f.Events))
+	for i := range f.Events {
+		e := &f.Events[i]
+		bw.printf("t=%9.3fs  %-13s", a.Seconds(e.TTI), e.Kind)
+		switch e.Kind {
+		case obs.KindClamp:
+			bw.printf(" reco %d prev %d -> %d", e.Reco, e.Prev, e.Level)
+			if e.Need > 0 {
+				bw.printf(" (streak %d/%d)", e.Streak, e.Need)
+			}
+			bw.printf("  n_u %d b_u %d", e.RBs, e.Bytes)
+		case obs.KindInstall, obs.KindInstallFail, obs.KindDeliver:
+			bw.printf(" level %d %.2f Mbps seq %d", e.Level, e.Bps/1e6, e.Seq)
+		case obs.KindFallback:
+			bw.printf(" reason %s (count %d)", reasonText(e.Reason), e.Streak)
+		case obs.KindRetry:
+			bw.printf(" attempt %d", e.Seq)
+		}
+		bw.printf("\n")
+	}
+	return bw.err
+}
+
+func reasonText(r obs.Reason) string {
+	switch r {
+	case obs.ReasonPolls:
+		return "consecutive failed polls"
+	case obs.ReasonStale:
+		return "stale assignment"
+	default:
+		return "unspecified"
+	}
+}
+
+func causeNoun(r obs.Reason, n int) string {
+	base := "event"
+	switch r {
+	case obs.ReasonPolls:
+		base = "lost poll"
+	case obs.ReasonStale:
+		base = "stale delivery"
+	}
+	if n == 1 {
+		return base
+	}
+	return base + "s"
+}
+
+func ns(v int64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+// errWriter folds fmt errors so rendering code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

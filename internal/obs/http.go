@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the counters and the solver-latency histogram
+// in the Prometheus text exposition format — mount it at /metrics. It
+// tolerates a nil Metrics (disabled recorder) by serving an empty
+// exposition.
+func MetricsHandler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// debugPayload is the /debug/flare JSON document.
+type debugPayload struct {
+	Schema   string         `json:"schema"`
+	Counters map[string]any `json:"counters"`
+	Events   []debugEvent   `json:"events"`
+}
+
+// debugEvent is the human-facing JSON shape of one ring event.
+type debugEvent struct {
+	Kind  string          `json:"kind"`
+	Event json.RawMessage `json:"event"`
+}
+
+// DebugHandler serves a JSON snapshot of the recorder: the counter map
+// plus the tail of the flight-recorder ring (?n=100 by default, capped
+// at the ring size) — the "what just happened" endpoint, mounted at
+// /debug/flare. A nil recorder serves an empty snapshot.
+func DebugHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		events := rec.Snapshot()
+		if len(events) > n {
+			events = events[len(events)-n:]
+		}
+		payload := debugPayload{
+			Schema:   SchemaVersion,
+			Counters: rec.Metrics().Snapshot(),
+			Events:   make([]debugEvent, 0, len(events)),
+		}
+		var buf []byte
+		for i := range events {
+			buf = events[i].AppendJSON(buf[:0])
+			payload.Events = append(payload.Events, debugEvent{
+				Kind:  events[i].Kind.String(),
+				Event: json.RawMessage(append([]byte(nil), buf...)),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload)
+	})
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Metrics are the runtime counters and histograms derived from the
+// event stream: every Emit bumps the counter matching its kind with an
+// atomic add, so the /metrics endpoint is always current without a
+// second instrumentation pass. All methods are nil-safe — a nil
+// *Metrics (from a disabled recorder) reads as all-zero.
+type Metrics struct {
+	Events          atomic.Int64
+	BAISolves       atomic.Int64
+	Clamps          atomic.Int64
+	ClampHolds      atomic.Int64 // clamp granted below recommendation
+	Installs        atomic.Int64
+	InstallFailures atomic.Int64
+	SessionOpens    atomic.Int64
+	SessionCloses   atomic.Int64
+	ReportsLost     atomic.Int64
+	PollsLost       atomic.Int64
+	StalePolls      atomic.Int64
+	Deliveries      atomic.Int64
+	Fallbacks       atomic.Int64
+	Recoveries      atomic.Int64
+	FlowStarts      atomic.Int64
+	FlowDepartures  atomic.Int64
+	StallStarts     atomic.Int64
+	StallEnds       atomic.Int64
+	FaultsInjected  atomic.Int64
+	FastForwards    atomic.Int64
+	Retries         atomic.Int64
+	Reopens         atomic.Int64
+	ClientFailures  atomic.Int64
+	SinkErrors      atomic.Int64
+
+	// SolveLatency aggregates KindBAISolve durations.
+	SolveLatency Histogram
+}
+
+// observe folds one event into the counters.
+func (m *Metrics) observe(e *Event) {
+	m.Events.Add(1)
+	switch e.Kind {
+	case KindBAISolve:
+		m.BAISolves.Add(1)
+		m.SolveLatency.Observe(e.DurNs)
+	case KindClamp:
+		m.Clamps.Add(1)
+		if e.Level < e.Reco {
+			m.ClampHolds.Add(1)
+		}
+	case KindInstall:
+		m.Installs.Add(1)
+	case KindInstallFail:
+		m.InstallFailures.Add(1)
+	case KindSessionOpen:
+		m.SessionOpens.Add(1)
+	case KindSessionClose:
+		m.SessionCloses.Add(1)
+	case KindReportLost:
+		m.ReportsLost.Add(1)
+	case KindPollLost:
+		m.PollsLost.Add(1)
+	case KindStale:
+		m.StalePolls.Add(1)
+	case KindDeliver:
+		m.Deliveries.Add(1)
+	case KindFallback:
+		m.Fallbacks.Add(1)
+	case KindRecover:
+		m.Recoveries.Add(1)
+	case KindFlowStart:
+		m.FlowStarts.Add(1)
+	case KindFlowDepart:
+		m.FlowDepartures.Add(1)
+	case KindStallStart:
+		m.StallStarts.Add(1)
+	case KindStallEnd:
+		m.StallEnds.Add(1)
+	case KindFault:
+		m.FaultsInjected.Add(1)
+	case KindFastForward:
+		m.FastForwards.Add(1)
+	case KindRetry:
+		m.Retries.Add(1)
+	case KindReopen:
+		m.Reopens.Add(1)
+	case KindClientFail:
+		m.ClientFailures.Add(1)
+	}
+}
+
+// counterRow pairs an exported name with its counter for the text
+// renderers. Name style is Prometheus snake_case.
+func (m *Metrics) counters() []struct {
+	Name string
+	V    int64
+} {
+	return []struct {
+		Name string
+		V    int64
+	}{
+		{"events_total", m.Events.Load()},
+		{"bai_solves_total", m.BAISolves.Load()},
+		{"clamps_total", m.Clamps.Load()},
+		{"clamp_holds_total", m.ClampHolds.Load()},
+		{"installs_total", m.Installs.Load()},
+		{"install_failures_total", m.InstallFailures.Load()},
+		{"session_opens_total", m.SessionOpens.Load()},
+		{"session_closes_total", m.SessionCloses.Load()},
+		{"reports_lost_total", m.ReportsLost.Load()},
+		{"polls_lost_total", m.PollsLost.Load()},
+		{"stale_polls_total", m.StalePolls.Load()},
+		{"deliveries_total", m.Deliveries.Load()},
+		{"fallbacks_total", m.Fallbacks.Load()},
+		{"recoveries_total", m.Recoveries.Load()},
+		{"flow_starts_total", m.FlowStarts.Load()},
+		{"flow_departures_total", m.FlowDepartures.Load()},
+		{"stall_starts_total", m.StallStarts.Load()},
+		{"stall_ends_total", m.StallEnds.Load()},
+		{"faults_injected_total", m.FaultsInjected.Load()},
+		{"fast_forwards_total", m.FastForwards.Load()},
+		{"client_retries_total", m.Retries.Load()},
+		{"client_reopens_total", m.Reopens.Load()},
+		{"client_failures_total", m.ClientFailures.Load()},
+		{"sink_errors_total", m.SinkErrors.Load()},
+	}
+}
+
+// Snapshot returns the counters as a name → value map (the expvar /
+// /debug/flare JSON shape), plus solver-latency summary fields.
+func (m *Metrics) Snapshot() map[string]any {
+	out := make(map[string]any, 28)
+	if m == nil {
+		return out
+	}
+	for _, c := range m.counters() {
+		out[c.Name] = c.V
+	}
+	n, sumNs := m.SolveLatency.CountSum()
+	out["solver_latency_count"] = n
+	out["solver_latency_sum_seconds"] = float64(sumNs) / 1e9
+	if n > 0 {
+		out["solver_latency_mean_seconds"] = float64(sumNs) / 1e9 / float64(n)
+	}
+	return out
+}
+
+// WritePrometheus renders the counters and the solver-latency histogram
+// in the Prometheus text exposition format, prefixed flare_.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	for _, c := range m.counters() {
+		if _, err := fmt.Fprintf(w, "# TYPE flare_%s counter\nflare_%s %d\n", c.Name, c.Name, c.V); err != nil {
+			return err
+		}
+	}
+	return m.SolveLatency.writePrometheus(w, "flare_solver_latency_seconds")
+}
+
+// histBuckets is the number of log2 latency buckets: bucket i counts
+// observations in (2^(i-1), 2^i] microseconds, so the histogram spans
+// 1 µs .. ~8.4 s with bucket 0 collecting everything at or below 1 µs
+// and the last bucket acting as +Inf overflow.
+const histBuckets = 24
+
+// Histogram is a fixed-bucket, atomic, log2-scaled latency histogram —
+// no allocation, no lock, safe for concurrent Observe.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil || ns < 0 {
+		return
+	}
+	us := ns / 1000
+	b := bits.Len64(uint64(us)) // 0 for <=1µs upward
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.counts[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// CountSum returns the observation count and the summed nanoseconds.
+func (h *Histogram) CountSum() (count, sumNs int64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.count.Load(), h.sumNs.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile in seconds (the
+// bucket boundary at or above it); 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return bucketUpperSeconds(i)
+		}
+	}
+	return bucketUpperSeconds(histBuckets - 1)
+}
+
+// bucketUpperSeconds is bucket i's inclusive upper bound in seconds.
+func bucketUpperSeconds(i int) float64 {
+	return float64(int64(1)<<uint(i)) / 1e6
+}
+
+func (h *Histogram) writePrometheus(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bucketUpperSeconds(i), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[histBuckets-1].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	count, sumNs := h.CountSum()
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, float64(sumNs)/1e9, name, count)
+	return err
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/sim"
 )
 
@@ -92,6 +93,7 @@ type Client struct {
 	cellID  int
 	flowID  int
 	cfg     ClientConfig
+	rec     *obs.Recorder // nil = telemetry disabled
 
 	mu       sync.Mutex
 	rng      *sim.RNG
@@ -123,6 +125,11 @@ func NewClientWithConfig(baseURL string, cellID, flowID int, httpc *http.Client,
 		cfg: cfg, rng: sim.NewRNG(cfg.JitterSeed),
 	}
 }
+
+// SetRecorder attaches a telemetry recorder to the client (nil
+// disables). Retries, automatic re-opens, and exhausted-retry failures
+// are then emitted as events.
+func (c *Client) SetRecorder(rec *obs.Recorder) { c.rec = rec }
 
 // Stats are the client's recovery counters: how often requests were
 // retried, how often the session was automatically re-opened, and how
@@ -187,6 +194,7 @@ func (c *Client) Reopen(ctx context.Context) error {
 	ladder, prefs := c.ladder, c.prefs
 	c.reopens++
 	c.mu.Unlock()
+	c.rec.Emit(obs.Event{Kind: obs.KindReopen, Cell: int32(c.cellID), Flow: int32(c.flowID), Site: obs.SiteHTTP})
 	return c.OpenContext(ctx, ladder, prefs)
 }
 
@@ -321,6 +329,10 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 			c.retries++
 			delay := c.backoffLocked(attempt)
 			c.mu.Unlock()
+			c.rec.Emit(obs.Event{
+				Kind: obs.KindRetry, Cell: int32(c.cellID), Flow: int32(c.flowID),
+				Site: obs.SiteHTTP, Seq: int64(attempt),
+			})
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
@@ -372,6 +384,7 @@ func (c *Client) countFailure() {
 	c.mu.Lock()
 	c.failures++
 	c.mu.Unlock()
+	c.rec.Emit(obs.Event{Kind: obs.KindClientFail, Cell: int32(c.cellID), Flow: int32(c.flowID), Site: obs.SiteHTTP})
 }
 
 // backoffLocked computes attempt n's delay: base·2^(n-1) capped at

@@ -6,6 +6,7 @@ import (
 
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/has"
+	"github.com/flare-sim/flare/internal/obs"
 )
 
 // PCEF is the enforcement interface: the policy-and-charging enforcement
@@ -51,6 +52,9 @@ type Server struct {
 	// PCEF lives next to the server rather than the eNodeB. Nil means
 	// enforcement is the response consumer's job (the wire contract).
 	pcef PCEF
+	// rec is the telemetry recorder (nil = disabled) shared by every
+	// per-cell controller this server creates.
+	rec *obs.Recorder
 }
 
 // NewServer builds a OneAPI server that creates controllers with cfg.
@@ -63,6 +67,25 @@ func NewServer(cfg core.Config, pcrf *PCRF) *Server {
 
 // PCRF exposes the server's flow registry.
 func (s *Server) PCRF() *PCRF { return s.pcrf }
+
+// SetRecorder attaches a telemetry recorder (nil disables). Controllers
+// created afterwards inherit it; controllers that already exist are
+// re-pointed too, so attach order does not matter.
+func (s *Server) SetRecorder(rec *obs.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+	for id, c := range s.cells {
+		c.controller.SetRecorder(rec, id)
+	}
+}
+
+// Recorder returns the attached telemetry recorder (nil when disabled).
+func (s *Server) Recorder() *obs.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
 
 // SetPCEF installs the server-side enforcement hook: BAIs triggered
 // with a nil PCEF (e.g. over HTTP) install GBRs through it. Failures
@@ -81,6 +104,7 @@ func (s *Server) cell(cellID int) *cellState {
 			current:    make(map[int]core.Assignment),
 			installSeq: make(map[int]int64),
 		}
+		c.controller.SetRecorder(s.rec, cellID)
 		s.cells[cellID] = c
 	}
 	return c
@@ -119,6 +143,7 @@ func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) 
 	if err := c.controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
 		return false, fmt.Errorf("oneapi: open session: %w", err)
 	}
+	s.rec.Emit(obs.Event{Kind: obs.KindSessionOpen, Cell: int32(cellID), Flow: int32(req.FlowID)})
 	return true, nil
 }
 
@@ -142,6 +167,7 @@ func (s *Server) CloseSession(cellID, flowID int) {
 		c.controller.Unregister(flowID)
 		delete(c.current, flowID)
 		delete(c.installSeq, flowID)
+		s.rec.Emit(obs.Event{Kind: obs.KindSessionClose, Cell: int32(cellID), Flow: int32(flowID)})
 	}
 }
 
@@ -217,6 +243,7 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 	}
 	c := s.cell(cellID)
 	if report.Seq > 0 && report.Seq <= c.lastReportSeq {
+		s.rec.Emit(obs.Event{Kind: obs.KindStale, Cell: int32(cellID), Flow: -1, Seq: report.Seq})
 		return StatsResponse{}, fmt.Errorf("oneapi: cell %d: report seq %d <= last accepted %d: %w",
 			cellID, report.Seq, c.lastReportSeq, ErrStaleReport)
 	}
@@ -237,12 +264,20 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 				// previous assignment and install sequence survive, so
 				// polling plugins see its age grow.
 				failed = append(failed, EnforcementFailure{FlowID: a.FlowID, Reason: err.Error()})
+				s.rec.Emit(obs.Event{
+					Kind: obs.KindInstallFail, Cell: int32(cellID), Flow: int32(a.FlowID),
+					Seq: c.baiSeq, Level: int32(a.Level), Bps: a.RateBps,
+				})
 				continue
 			}
 		}
 		c.current[a.FlowID] = a
 		c.installSeq[a.FlowID] = c.baiSeq
 		committed = append(committed, a)
+		s.rec.Emit(obs.Event{
+			Kind: obs.KindInstall, Cell: int32(cellID), Flow: int32(a.FlowID),
+			Seq: c.baiSeq, Level: int32(a.Level), Bps: a.RateBps,
+		})
 	}
 	resp := StatsResponse{Assignments: committed, BAISeq: c.baiSeq, Failed: failed}
 	if len(failed) > 0 {
