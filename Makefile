@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test vet race check results bench-quick bench-json bench-check profile trace-demo clean
+# Pinned external tool versions. CI installs exactly these via `make
+# tools`; locally, the lint/vuln targets run the tool when it is on
+# PATH and skip with a notice otherwise (installing needs network).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results bench-quick bench-json bench-check profile trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -14,12 +20,50 @@ test:
 vet:
 	$(GO) vet ./...
 
+# flarevet is this repo's own analyzer suite (internal/lint): the
+# determinism, layering, hotpath, and obsdiscipline invariants, enforced
+# mechanically. Zero third-party dependencies, so it always runs.
+flarevet:
+	$(GO) run ./cmd/flarevet ./...
+
+# lint = flarevet always, plus staticcheck when the binary is available
+# (CI installs the pinned version via `make tools`; a dev container
+# without network access skips it rather than failing the gate).
+lint: flarevet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run 'make tools' where network is available)"; \
+	fi
+
+# tools installs the pinned external analyzers (network required).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# vuln scans the module against the Go vulnerability database (network
+# required; skipped gracefully when govulncheck is not installed).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (run 'make tools' where network is available)"; \
+	fi
+
+# fuzz-smoke gives each fuzz target a short adversarial budget on top of
+# the committed seed corpora (which every plain `go test` run replays).
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzMCKP -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGateApply -fuzztime 10s
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
+
 race:
 	$(GO) test -race ./...
 
-# check is the full verification gate: build, vet, then race-enabled
-# tests (which subsume the plain test run).
-check: build vet race
+# check is the full verification gate: build, lint (flarevet +
+# staticcheck-if-present), vet, then race-enabled tests (which subsume
+# the plain test run).
+check: build lint vet race
 
 # bench-quick runs every benchmark exactly once — a smoke pass proving
 # the bench harness builds and executes, not a timing measurement.

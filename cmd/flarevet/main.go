@@ -1,0 +1,75 @@
+// Command flarevet is the project's multichecker: it runs the
+// internal/lint analyzer suite (determinism, layering, hotpath,
+// obsdiscipline) over the packages matching its arguments and exits
+// non-zero if any invariant is violated.
+//
+// Usage:
+//
+//	flarevet [packages]          # default ./...
+//	flarevet -help               # analyzer documentation
+//
+// Analyzer applicability is governed by the declarative ruleset in
+// internal/lint/rules.go: determinism runs only inside the sim-clock
+// domain; the other three run everywhere. Findings are suppressed only
+// by //flare:allow <reason> directives (see internal/lint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/flare-sim/flare/internal/buildinfo"
+	"github.com/flare-sim/flare/internal/lint"
+)
+
+func main() {
+	showVersion := flag.Bool("version", false, "print version and exit")
+	showDocs := flag.Bool("help-analyzers", false, "print analyzer documentation and exit")
+	flag.Usage = usage
+	flag.Parse()
+	if *showVersion {
+		buildinfo.Print(os.Stdout, "flarevet")
+		return
+	}
+	if *showDocs {
+		printDocs()
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flarevet:", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, lint.AnalyzersFor(pkg.Path)) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "flarevet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: flarevet [flags] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "Runs the FLARE invariant analyzers over the given packages (default ./...).\n\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(os.Stderr, "\nRun with -help-analyzers for what each analyzer enforces.\n")
+}
+
+func printDocs() {
+	for _, a := range lint.Analyzers() {
+		fmt.Printf("%s\n    %s\n\n", a.Name, a.Doc)
+	}
+	fmt.Printf("directive\n    validates //flare:allow <reason> and //flare:hotpath grammar\n")
+}

@@ -78,10 +78,7 @@ func newFlareDriver(cfg Config) (Controller, error) {
 // tagged with the control-plane site they struck.
 func faultObserver(rec *obs.Recorder, cellID int, site obs.Site) faults.Observer {
 	return func(_ time.Duration, dec faults.Decision) {
-		rec.Emit(obs.Event{
-			Kind: obs.KindFault, Cell: int32(cellID), Flow: -1,
-			Site: site, Outcome: uint8(dec.Outcome),
-		})
+		rec.Emit(obs.Fault(int32(cellID), site, uint8(dec.Outcome)))
 	}
 }
 
@@ -124,20 +121,15 @@ func (d *flareDriver) Init(e Engine, flows []*Flow) error {
 			}
 			flowID := int32(flows[i].ID)
 			d.plugins[i].SetTransitionObserver(func(to abr.PluginMode, reason abr.TransitionReason, count int) {
-				kind := obs.KindRecover
-				why := obs.ReasonNone
+				ev := obs.Recovery(int32(d.cellID), flowID, int32(count))
 				if to == abr.ModeFallback {
-					kind = obs.KindFallback
+					why := obs.ReasonStale
 					if reason == abr.ReasonFailedPolls {
 						why = obs.ReasonPolls
-					} else {
-						why = obs.ReasonStale
 					}
+					ev = obs.Fallback(int32(d.cellID), flowID, why, int32(count))
 				}
-				d.rec.Emit(obs.Event{
-					Kind: kind, Cell: int32(d.cellID), Flow: flowID,
-					Reason: why, Streak: int32(count),
-				})
+				d.rec.Emit(ev)
 			})
 		}
 	}
@@ -217,7 +209,7 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 
 	if reportLost {
 		d.ctrl.ReportsLost++
-		d.rec.Emit(obs.Event{Kind: obs.KindReportLost, Cell: int32(d.cellID), Flow: -1, Site: obs.SiteStats})
+		d.rec.Emit(obs.ReportLost(int32(d.cellID)))
 	} else {
 		d.sendBufferFeedback()
 		report := oneapi.StatsReport{Flows: d.e.CollectStats(d.flows), NumDataFlows: -1}
@@ -246,7 +238,7 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 		}
 		if d.pollFaults != nil && d.pollFaults.Decide(now).Lost() {
 			d.ctrl.PollsLost++
-			d.rec.Emit(obs.Event{Kind: obs.KindPollLost, Cell: int32(d.cellID), Flow: int32(f.ID), Site: obs.SitePoll})
+			d.rec.Emit(obs.PollLost(int32(d.cellID), int32(f.ID)))
 			plugin.PollFailed()
 			continue
 		}
@@ -256,10 +248,7 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 			// nothing to deliver, nothing failed.
 			continue
 		}
-		d.rec.Emit(obs.Event{
-			Kind: obs.KindDeliver, Cell: int32(d.cellID), Flow: int32(f.ID),
-			Seq: a.BAISeq, Level: int32(a.Level), Bps: a.RateBps,
-		})
+		d.rec.Emit(obs.Deliver(int32(d.cellID), int32(f.ID), a.BAISeq, int32(a.Level), a.RateBps))
 		plugin.Deliver(a.RateBps, a.BAISeq)
 	}
 	return nil

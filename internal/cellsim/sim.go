@@ -330,11 +330,11 @@ func (s *Sim) buildVideo() error {
 			if s.rec.Enabled() {
 				flowID := int32(f.ID)
 				player.OnStall = func(started bool) {
-					kind := obs.KindStallEnd
 					if started {
-						kind = obs.KindStallStart
+						s.rec.Emit(obs.StallStart(int32(s.cellID), flowID))
+					} else {
+						s.rec.Emit(obs.StallEnd(int32(s.cellID), flowID))
 					}
-					s.rec.Emit(obs.Event{Kind: kind, Cell: int32(s.cellID), Flow: flowID})
 				}
 			}
 			g.flows = append(g.flows, f)
@@ -471,14 +471,14 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 				startTTI = sim.DurationToTTIs(s.cfg.VideoArrivals[f.ID])
 			}
 			s.env.events.Schedule(startTTI, func() {
-				s.rec.Emit(obs.Event{Kind: obs.KindFlowStart, Cell: int32(s.cellID), Flow: int32(f.ID)})
+				s.rec.Emit(obs.FlowStart(int32(s.cellID), int32(f.ID)))
 				p.Start()
 			})
 			if len(s.cfg.VideoDepartures) > 0 && s.cfg.VideoDepartures[f.ID] > 0 {
 				s.env.events.Schedule(sim.DurationToTTIs(s.cfg.VideoDepartures[f.ID]), func() {
 					p.Stop()
 					g.ctrl.OnFlowDeparture(f)
-					s.rec.Emit(obs.Event{Kind: obs.KindFlowDepart, Cell: int32(s.cellID), Flow: int32(f.ID)})
+					s.rec.Emit(obs.FlowDepart(int32(s.cellID), int32(f.ID)))
 				})
 			}
 		}
@@ -555,6 +555,8 @@ func (s *Sim) runHooks(tti, sampleTTIs int64) error {
 // the semantic baseline the fast-forward kernel must match byte for
 // byte, kept selectable via Config.DisableFastForward (and used
 // automatically for channel models without catch-up support).
+//
+//flare:hotpath
 func (s *Sim) runNaive(ctx context.Context, durTTIs, sampleTTIs int64) error {
 	for tti := int64(0); tti < durTTIs; tti++ {
 		if tti&0x3ff == 0 && ctx.Err() != nil {
@@ -585,6 +587,8 @@ func (s *Sim) runNaive(ctx context.Context, durTTIs, sampleTTIs int64) error {
 // Quiescence is decided after RunTTI and the hooks because both can
 // re-arm flows mid-TTI: radio delivery fires OnDeliver → player
 // progress → a new segment request → Flow.Send.
+//
+//flare:hotpath
 func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
 	for tti := int64(0); tti < durTTIs; {
 		if tti&0x3ff == 0 && ctx.Err() != nil {
@@ -610,7 +614,7 @@ func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
 		if s.quiescent() {
 			if w := s.wakeTTI(tti, durTTIs, sampleTTIs); w > next {
 				s.enb.FastForwardIdle(tti, w)
-				s.rec.Emit(obs.Event{Kind: obs.KindFastForward, Cell: int32(s.cellID), Flow: -1, TTI: tti, To: w})
+				s.rec.Emit(obs.FastForward(int32(s.cellID), tti, w))
 				next = w
 			}
 		}

@@ -137,6 +137,13 @@ type Controller struct {
 
 	solveTimes []time.Duration
 
+	// now supplies the wall clock for solver-latency measurement (the
+	// Figure 9 numbers and the bai_solve DurNs field). It is injectable
+	// (SetWallClock) so tests fake it and so the determinism analyzer
+	// can see that the sim-clock domain never consults real time for
+	// decisions: the reading is observational only.
+	now func() time.Time
+
 	rec    *obs.Recorder // nil = telemetry disabled
 	cellID int32
 	baiSeq int64
@@ -176,7 +183,18 @@ func NewController(cfg Config) *Controller {
 		relax: NewRelaxedSolver(),
 		gate:  NewGate(cfg.Delta),
 		flows: make(map[int]*ctrlFlow),
+		now:   time.Now, //flare:allow solver-latency timing is observational: DurNs/SolveTimes never feed an assignment decision, and tests inject a fake via SetWallClock
 	}
+}
+
+// SetWallClock replaces the wall-clock source used to time BAI solves
+// (nil restores time.Now). Latency measurement is the only consumer:
+// faking the clock cannot change any assignment.
+func (c *Controller) SetWallClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now //flare:allow restoring the observational default; see Controller.now
+	}
+	c.now = now
 }
 
 // SetRecorder attaches a telemetry recorder (nil disables recording)
@@ -289,6 +307,7 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 		return nil, fmt.Errorf("core: negative data flow count %d", numDataFlows)
 	}
 	ids := make([]int, 0, len(c.flows))
+	//flare:allow key-collection loop: the keys are sorted on the next line, so iteration order cannot reach state or output
 	for id := range c.flows {
 		ids = append(ids, id)
 	}
@@ -335,7 +354,7 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 		}
 	}
 
-	start := time.Now()
+	start := c.now()
 	var (
 		sol Solution
 		err error
@@ -345,22 +364,14 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 	} else {
 		sol, err = c.exact.Solve(&prob)
 	}
-	elapsed := time.Since(start)
+	elapsed := c.now().Sub(start)
 	c.solveTimes = append(c.solveTimes, elapsed)
 	if err != nil {
 		return nil, fmt.Errorf("core: BAI solve: %w", err)
 	}
 	c.baiSeq++
-	c.rec.Emit(obs.Event{
-		Kind:  obs.KindBAISolve,
-		Cell:  c.cellID,
-		Flow:  -1,
-		Seq:   c.baiSeq,
-		Need:  int32(numDataFlows),
-		RBs:   int64(prob.TotalRBs),
-		Value: sol.Objective,
-		DurNs: elapsed.Nanoseconds(),
-	})
+	c.rec.Emit(obs.BAISolve(c.cellID, c.baiSeq, int32(numDataFlows),
+		int64(prob.TotalRBs), sol.Objective, elapsed.Nanoseconds()))
 
 	out := make([]Assignment, len(ids))
 	for i, id := range ids {
@@ -368,20 +379,9 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 		final, streak, need := c.gate.ApplyDetail(id, f.level, sol.Levels[i])
 		if c.rec.Enabled() {
 			s := stats[id]
-			c.rec.Emit(obs.Event{
-				Kind:   obs.KindClamp,
-				Cell:   c.cellID,
-				Flow:   int32(id),
-				Seq:    c.baiSeq,
-				Reco:   int32(sol.Levels[i]),
-				Level:  int32(final),
-				Prev:   int32(f.level),
-				Streak: int32(streak),
-				Need:   int32(need),
-				Bytes:  s.Bytes,
-				RBs:    s.RBs,
-				Bps:    f.ladder.Rate(final),
-			})
+			c.rec.Emit(obs.Clamp(c.cellID, int32(id), c.baiSeq,
+				int32(sol.Levels[i]), int32(final), int32(f.level),
+				int32(streak), int32(need), s.Bytes, s.RBs, f.ladder.Rate(final)))
 		}
 		f.level = final
 		out[i] = Assignment{

@@ -46,6 +46,8 @@ type ExactSolver struct {
 func NewExactSolver() *ExactSolver { return &ExactSolver{Bins: 4000} }
 
 // Solve runs the DP and returns the best feasible assignment.
+//
+//flare:hotpath
 func (s *ExactSolver) Solve(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err

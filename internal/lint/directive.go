@@ -1,0 +1,107 @@
+// Directive grammar. flarevet understands two comment directives:
+//
+//	//flare:allow <reason>
+//	    Suppresses any flarevet finding on the same line or on the
+//	    line directly below the directive. The reason is mandatory:
+//	    a bare //flare:allow is itself a finding. Reasons are free
+//	    text; write why the invariant is safe to waive HERE.
+//
+//	//flare:hotpath [note]
+//	    Marks a function declaration as allocation-sensitive; the
+//	    hotpath analyzer then forbids capturing closures, fmt
+//	    printing, string concatenation in loops, and defer inside
+//	    it. The directive must appear in a function's doc comment.
+//
+// Both are ordinary line comments, invisible to the compiler: adding or
+// removing them cannot change behaviour, goldens, or benchmarks.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix   = "//flare:allow"
+	hotpathPrefix = "//flare:hotpath"
+)
+
+// directives is the per-package directive index built by the runner.
+type directives struct {
+	// allowLines maps filename -> set of lines carrying a well-formed
+	// (reasoned) allow directive.
+	allowLines map[string]map[int]bool
+	// malformed collects directive-grammar findings.
+	malformed []Diagnostic
+}
+
+// allows reports whether a diagnostic at pos is suppressed: a reasoned
+// allow sits on the same line (trailing comment) or the line above.
+func (d *directives) allows(pos token.Position) bool {
+	lines := d.allowLines[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// collectDirectives scans every comment in the package for flare
+// directives, validating their grammar.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{allowLines: make(map[string]map[int]bool)}
+	for _, f := range files {
+		// Function doc comments are the only legal home for
+		// //flare:hotpath; remember them so strays can be reported.
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case strings.HasPrefix(c.Text, allowPrefix):
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					reason := strings.TrimSpace(rest)
+					pos := fset.Position(c.Pos())
+					if reason == "" || !strings.HasPrefix(rest, " ") {
+						d.malformed = append(d.malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "directive",
+							Message:  "flare:allow requires a reason: //flare:allow <why this is safe>",
+						})
+						continue
+					}
+					lines := d.allowLines[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						d.allowLines[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+				case strings.HasPrefix(c.Text, hotpathPrefix):
+					if !funcDocs[cg] {
+						d.malformed = append(d.malformed, Diagnostic{
+							Pos:      fset.Position(c.Pos()),
+							Analyzer: "directive",
+							Message:  "flare:hotpath must appear in a function declaration's doc comment",
+						})
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// hasHotpathDirective reports whether a function's doc comment carries
+// //flare:hotpath.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, hotpathPrefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath is the static complement to the AllocsPerRun floors and the
+// flarebench simsec/sec gate: functions whose doc comment carries
+// //flare:hotpath (the Sim tick loops, the scheduler argmax, the MCKP
+// sweep, Bearer.tick, Recorder.Emit) must not contain
+//
+//   - capturing closures (each capture forces a heap-allocated context;
+//     PR 3 replaced the per-ACK closure with a method value for exactly
+//     this reason),
+//   - fmt printing (reflection, interface boxing, and an implicit
+//     []any allocation per call),
+//   - string concatenation inside loops (quadratic garbage), or
+//   - defer (per-call bookkeeping, and it hides work at exit).
+//
+// The benchmark gates catch regressions after the fact on covered
+// configs; this analyzer rejects the construct at review time on every
+// config.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbids capturing closures, fmt printing, in-loop string concatenation, and defer " +
+		"inside functions annotated //flare:hotpath",
+	Run: runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathDirective(fd.Doc) {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in //flare:hotpath function %s", name)
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Everything under a loop header or body runs per
+			// iteration for concat-accounting purposes.
+			walkChildren(n, func(c ast.Node) { walk(c, true) })
+			return
+		case *ast.FuncLit:
+			if caps := captures(pass, fd, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "capturing closure in //flare:hotpath function %s (captures %s); hoist it or use a method value",
+					name, strings.Join(caps, ", "))
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" && strings.Contains(strings.ToLower(fn.Name()), "print") {
+					pass.Reportf(n.Pos(), "fmt.%s in //flare:hotpath function %s", fn.Name(), name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if inLoop && n.Op == token.ADD && isString(pass, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in loop in //flare:hotpath function %s; use a reused []byte buffer", name)
+			}
+		case *ast.AssignStmt:
+			if inLoop && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation in loop in //flare:hotpath function %s; use a reused []byte buffer", name)
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(fd.Body, false)
+}
+
+// walkChildren visits n's immediate children once each.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false // do not descend; visit recurses itself
+	})
+}
+
+// captures lists the variables a func literal captures from the
+// enclosing function: identifiers used inside the literal whose
+// definition lies within the enclosing declaration but outside the
+// literal (parameters, receiver, locals — not package globals, which
+// cost nothing to reference).
+func captures(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		pos := obj.Pos()
+		if pos >= fd.Pos() && pos < fd.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			if !seen[obj.Name()] {
+				seen[obj.Name()] = true
+				out = append(out, obj.Name())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isString reports whether e has (possibly named) string type.
+func isString(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

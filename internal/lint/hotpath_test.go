@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestHotpath covers all four forbidden constructs inside an annotated
+// function, their legality outside one, the reasoned waiver, and the
+// stray-directive grammar check.
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata/hotpath", "fixture/hotpath", lint.Hotpath)
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "strconv"
+
+// Layering enforces the import DAG declared in LayerRules. It is purely
+// syntactic — import declarations against path patterns — so a
+// violation is reported at the offending import spec the moment it is
+// written, not when a cycle or an initialization-order surprise bites
+// at link time.
+var Layering = NewLayering(LayerRules)
+
+// NewLayering builds a layering analyzer over an explicit ruleset
+// (tests use fixture-local rules; the tree uses LayerRules).
+func NewLayering(rules []LayerRule) *Analyzer {
+	a := &Analyzer{
+		Name: "layering",
+		Doc:  "enforces the declarative import DAG in internal/lint/rules.go (e.g. has/abr/faults never import obs; drivers never import the engine; obs imports no sim package)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, rule := range rules {
+			if !pathMatches(rule.Scope, pass.PkgPath) {
+				continue
+			}
+			for _, file := range pass.Files {
+				for _, imp := range file.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if !forbidden(rule, path) {
+						continue
+					}
+					pass.Reportf(imp.Pos(),
+						"%s must not import %s: %s", pass.PkgPath, path, rule.Reason)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// forbidden reports whether path violates rule.
+func forbidden(rule LayerRule, path string) bool {
+	hit := false
+	for _, f := range rule.Forbid {
+		if pathMatches(f, path) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return false
+	}
+	for _, e := range rule.Except {
+		if pathMatches(e, path) {
+			return false
+		}
+	}
+	return true
+}

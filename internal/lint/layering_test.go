@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestLayering runs the analyzer under a fixture-local ruleset:
+// forbidden imports are reported at the import spec, and a reasoned
+// allow on the line above waives one of them.
+func TestLayering(t *testing.T) {
+	rules := []lint.LayerRule{{
+		Scope:  "fixture/layering",
+		Forbid: []string{"errors", "os"},
+		Reason: "fixture: this layer is I/O- and error-free",
+	}}
+	linttest.Run(t, "testdata/layering", "fixture/layering", lint.NewLayering(rules))
+}
+
+// TestLayeringRealRules loads a fixture UNDER the real has subtree
+// path, so the production LayerRules table applies: has must not
+// import obs.
+func TestLayeringRealRules(t *testing.T) {
+	linttest.Run(t, "testdata/layering_real",
+		lint.ModulePath+"/internal/has/fixture", lint.Layering)
+}

@@ -1,0 +1,121 @@
+// Package linttest is the analysistest counterpart for the flarevet
+// suite: it loads a fixture package from a testdata directory, runs one
+// or more analyzers over it, and checks the produced diagnostics
+// against `// want "regexp"` comments in the fixture sources.
+//
+// Matching rules follow x/tools analysistest: a want comment applies to
+// its own line; multiple expectations may share one comment
+// (`// want "a" "b"`); each expectation is a regular expression matched
+// against the diagnostic message; every diagnostic must be wanted and
+// every want must be matched.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+)
+
+// Run loads dir as a package named pkgPath, applies the analyzers
+// (plus the runner's built-in directive checks), and asserts the
+// diagnostics equal the fixture's want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags := lint.Run(pkg, analyzers)
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parse want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.claimed {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// claim marks the first unclaimed matching expectation.
+func claim(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.claimed && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts `// want "re"...` comments, keyed by file:line.
+func collectWants(pkg *lint.Package) (map[string][]*want, error) {
+	out := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest := wantText(c.Text)
+				if rest == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want expectation %q", key, rest)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: unquote %s: %w", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: compile %q: %w", key, pat, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// wantText extracts the expectation list from a comment, or "". Both
+// forms are accepted: a `// want "re"...` line comment, and a
+// `/* want "re"... */` block comment — the latter exists so a fixture
+// can attach an expectation to a line whose finding is itself a
+// malformed line-comment directive (only one line comment fits a line).
+func wantText(text string) string {
+	if strings.HasPrefix(text, "/*") {
+		body := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+		if rest, ok := strings.CutPrefix(body, "want "); ok {
+			return strings.TrimSpace(rest)
+		}
+		return ""
+	}
+	if idx := strings.Index(text, "// want "); idx >= 0 {
+		return strings.TrimSpace(text[idx+len("// want "):])
+	}
+	return ""
+}

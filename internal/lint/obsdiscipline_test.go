@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestObsDiscipline: outside internal/obs, Event composite literals
+// (value and pointer) are flagged; constructors, container literals,
+// and a reasoned allow are not.
+func TestObsDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/obsdiscipline", "fixture/obsdiscipline", lint.ObsDiscipline)
+}
+
+// TestObsDisciplineAllowedSubtree: the same construct is legal when the
+// package lives inside the internal/obs subtree (the fixture has no
+// want comments, so any diagnostic fails the test).
+func TestObsDisciplineAllowedSubtree(t *testing.T) {
+	linttest.Run(t, "testdata/obsdiscipline_allowed",
+		lint.ObsPackage+"/fixture", lint.ObsDiscipline)
+}

@@ -1,0 +1,148 @@
+// The declarative ruleset: which packages live in the simulated-clock
+// domain, the import DAG the layering analyzer enforces, and which
+// analyzers apply where. cmd/flarevet and the tree-wide regression test
+// both read this table, so "the rules" exist in exactly one place.
+package lint
+
+import "strings"
+
+// ModulePath is this module's import path prefix.
+const ModulePath = "github.com/flare-sim/flare"
+
+// ObsPackage is the telemetry package whose Event schema must stay
+// single-sourced.
+const ObsPackage = ModulePath + "/internal/obs"
+
+// SimClockPackages are the packages that run under the simulated TTI
+// clock and must replay byte-identically: any wall-clock read,
+// unordered map iteration, or global-RNG draw inside them silently
+// breaks the FF-on/FF-off equivalence and golden determinism that PRs
+// 2-3 proved. Subpackages inherit membership.
+var SimClockPackages = []string{
+	ModulePath + "/internal/cellsim", // engine (covers cellsim/driver)
+	ModulePath + "/internal/core",    // solver + Algorithm 1
+	ModulePath + "/internal/lte",     // radio model
+	ModulePath + "/internal/sim",     // event kernel + clock
+	ModulePath + "/internal/transport",
+	ModulePath + "/internal/has", // players
+}
+
+// IsSimClock reports whether pkgPath is inside the sim-clock domain.
+func IsSimClock(pkgPath string) bool {
+	for _, p := range SimClockPackages {
+		if pathMatches(p, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// A LayerRule forbids a package subtree (Scope, prefix match) from
+// importing the Forbid subtrees, except for the Except subtrees.
+// Reason is shown in the diagnostic.
+type LayerRule struct {
+	Scope  string
+	Forbid []string
+	Except []string
+	Reason string
+}
+
+// internalPrefix abbreviates rule entries below.
+const internalPrefix = ModulePath + "/internal/"
+
+// LayerRules is the import DAG, bottom layer first. The low layers are
+// allow-listed (everything in-module is forbidden except the named
+// dependencies); the cross-cutting rules at the end pin the two
+// architectural boundaries PR 2 and PR 4 introduced: drivers reach the
+// engine only through the narrow Engine view, and the sim/radio/player
+// layers publish telemetry through observer hooks rather than by
+// importing obs.
+var LayerRules = []LayerRule{
+	{
+		Scope:  internalPrefix + "sim",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "sim"},
+		Reason: "the event kernel is the bottom layer and imports nothing in-module",
+	},
+	{
+		Scope:  internalPrefix + "lte",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "lte", internalPrefix + "sim"},
+		Reason: "the radio model sits directly on the kernel",
+	},
+	{
+		Scope:  internalPrefix + "transport",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "transport", internalPrefix + "lte", internalPrefix + "sim"},
+		Reason: "transport rides on the radio model only",
+	},
+	{
+		Scope:  internalPrefix + "has",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "has", internalPrefix + "transport", internalPrefix + "lte", internalPrefix + "sim"},
+		Reason: "players know segments and flows, not schemes or telemetry",
+	},
+	{
+		Scope:  internalPrefix + "abr",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "abr", internalPrefix + "has", internalPrefix + "lte", internalPrefix + "metrics", internalPrefix + "sim"},
+		Reason: "client ABR logic must stay engine- and telemetry-free",
+	},
+	{
+		Scope:  internalPrefix + "faults",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "faults", internalPrefix + "sim"},
+		Reason: "the fault injector publishes through observer hooks, not obs",
+	},
+	{
+		Scope:  internalPrefix + "core",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "core", internalPrefix + "has", internalPrefix + "lte", internalPrefix + "obs", internalPrefix + "sim"},
+		Reason: "the controller consumes ladders and radio constants; it never reaches up into engines or servers",
+	},
+	{
+		Scope:  internalPrefix + "obs",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "obs"},
+		Reason: "obs is pure telemetry: importing a sim package would invert the observer direction and invite cycles",
+	},
+	{
+		Scope:  internalPrefix + "metrics",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "metrics"},
+		Reason: "metrics renderers are a leaf utility",
+	},
+	{
+		Scope:  internalPrefix + "qoe",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "qoe"},
+		Reason: "the QoE model is a leaf utility",
+	},
+	{
+		Scope:  internalPrefix + "cellsim/driver",
+		Forbid: []string{internalPrefix + "cellsim"},
+		Except: []string{internalPrefix + "cellsim/driver"},
+		Reason: "drivers touch the engine only through the narrow driver.Engine view (PR 2); importing the engine package would collapse the seam",
+	},
+}
+
+// pathMatches reports whether path is pattern or inside its subtree.
+func pathMatches(pattern, path string) bool {
+	return path == pattern || strings.HasPrefix(path, pattern+"/")
+}
+
+// Analyzers returns the full suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Layering, Hotpath, ObsDiscipline}
+}
+
+// AnalyzersFor selects the analyzers that apply to pkgPath: layering,
+// hotpath, and obsdiscipline run everywhere; determinism only inside
+// the sim-clock domain (live servers and CLIs may read the wall clock).
+func AnalyzersFor(pkgPath string) []*Analyzer {
+	as := []*Analyzer{Layering, Hotpath, ObsDiscipline}
+	if IsSimClock(pkgPath) {
+		as = append([]*Analyzer{Determinism}, as...)
+	}
+	return as
+}

@@ -1,0 +1,69 @@
+// Package hotfix exercises the hotpath analyzer: all four forbidden
+// constructs inside an annotated function, the same constructs passing
+// in an unannotated one, a reasoned waiver, and a stray directive.
+package hotfix
+
+import "fmt"
+
+func cleanup() {}
+
+// tick carries the annotation, so everything below is flagged.
+//
+//flare:hotpath
+func tick(names []string) string {
+	defer cleanup() // want `defer in //flare:hotpath function tick`
+	total := 0
+	joined := ""
+	for _, n := range names {
+		joined += n // want `string concatenation in loop`
+		total += len(n)
+	}
+	fmt.Println(total)               // want `fmt.Println in //flare:hotpath function tick`
+	f := func() int { return total } // want `capturing closure in //flare:hotpath function tick \(captures total\)`
+	_ = f
+	return joined
+}
+
+// clean is annotated but uses only permitted forms: a non-capturing
+// closure and concatenation outside any loop.
+//
+//flare:hotpath
+func clean(xs []int, prefix, suffix string) string {
+	g := func(a, b int) int { return a + b }
+	s := 0
+	for _, x := range xs {
+		s = g(s, x)
+	}
+	_ = s
+	return prefix + suffix
+}
+
+// notHot has no annotation: the same constructs draw no findings.
+func notHot(names []string) string {
+	defer cleanup()
+	out := ""
+	for _, n := range names {
+		out += n
+	}
+	fmt.Println(out)
+	return out
+}
+
+// withWaiver shows a reasoned allow inside a hotpath function.
+//
+//flare:hotpath
+func withWaiver() {
+	//flare:allow fixture: guards a once-per-run unlock, not per-tick work
+	defer cleanup()
+}
+
+/* want "flare:hotpath must appear in a function declaration's doc comment" */ //flare:hotpath
+var strayTarget = 0
+
+var (
+	_ = tick
+	_ = clean
+	_ = notHot
+	_ = withWaiver
+	_ = strayTarget
+)

@@ -1,0 +1,18 @@
+// Package layerfix exercises the layering analyzer under a
+// fixture-local ruleset (see layering_test.go) that forbids this
+// package from importing errors and os.
+package layerfix
+
+import (
+	"errors" // want `must not import errors`
+	"sort"
+
+	//flare:allow fixture: demonstrates a reasoned waiver on a forbidden import
+	"os"
+)
+
+var (
+	_ = errors.New
+	_ = sort.Ints
+	_ = os.Getpid
+)

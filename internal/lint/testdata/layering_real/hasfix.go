@@ -1,0 +1,10 @@
+// Package hasfix is loaded under the import path
+// github.com/flare-sim/flare/internal/has/fixture, so the REAL
+// LayerRules table applies: the has subtree must not import obs.
+package hasfix
+
+import (
+	"github.com/flare-sim/flare/internal/obs" // want `must not import github.com/flare-sim/flare/internal/obs`
+)
+
+var _ = obs.KindClamp

@@ -1,0 +1,18 @@
+// Package obsfix exercises the obsdiscipline analyzer outside the
+// internal/obs subtree: literals are flagged, constructors and
+// container literals are not, and a reasoned allow waives.
+package obsfix
+
+import "github.com/flare-sim/flare/internal/obs"
+
+func build(cell, flow int32) []obs.Event {
+	bad := obs.Event{Kind: obs.KindInstall, Cell: cell, Flow: flow} // want `obs.Event literal outside`
+	ptr := &obs.Event{Kind: obs.KindDeliver}                       // want `obs.Event literal outside`
+	good := obs.Install(cell, flow, 1, 3, 2.5e6)
+	//flare:allow fixture: demonstrates a reasoned waiver
+	waived := obs.Event{Kind: obs.KindStale}
+	// A slice literal OF events is not an Event literal.
+	return []obs.Event{bad, *ptr, good, waived}
+}
+
+var _ = build

@@ -1,0 +1,10 @@
+// Package obsallowed is loaded under an import path INSIDE the
+// internal/obs subtree, where the analyzer stands down: the typed
+// constructors themselves must be able to build literals.
+package obsallowed
+
+import "github.com/flare-sim/flare/internal/obs"
+
+var zero = obs.Event{Kind: obs.KindInstall}
+
+var _ = zero

@@ -155,6 +155,8 @@ func (b *Bearer) serve(capBytes int64, rbs int) int64 {
 
 // tick updates the throughput averages with the bits served this TTI.
 // Called once per TTI for every bearer, served or not.
+//
+//flare:hotpath
 func (b *Bearer) tick(servedBits float64) {
 	instant := servedBits * TTIsPerSecond // bits/s delivered this TTI
 	b.avgTput += (instant - b.avgTput) / avgTputTTIs

@@ -121,6 +121,8 @@ func (r *Recorder) SetNowTTI(now func() int64) {
 // every sink. On a nil recorder it is a no-op — and because Event is a
 // flat value built on the caller's stack, the disabled path allocates
 // nothing.
+//
+//flare:hotpath
 func (r *Recorder) Emit(e Event) {
 	if r == nil {
 		return

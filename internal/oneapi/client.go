@@ -194,7 +194,7 @@ func (c *Client) Reopen(ctx context.Context) error {
 	ladder, prefs := c.ladder, c.prefs
 	c.reopens++
 	c.mu.Unlock()
-	c.rec.Emit(obs.Event{Kind: obs.KindReopen, Cell: int32(c.cellID), Flow: int32(c.flowID), Site: obs.SiteHTTP})
+	c.rec.Emit(obs.Reopen(int32(c.cellID), int32(c.flowID)))
 	return c.OpenContext(ctx, ladder, prefs)
 }
 
@@ -329,10 +329,7 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 			c.retries++
 			delay := c.backoffLocked(attempt)
 			c.mu.Unlock()
-			c.rec.Emit(obs.Event{
-				Kind: obs.KindRetry, Cell: int32(c.cellID), Flow: int32(c.flowID),
-				Site: obs.SiteHTTP, Seq: int64(attempt),
-			})
+			c.rec.Emit(obs.Retry(int32(c.cellID), int32(c.flowID), int64(attempt)))
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
@@ -384,7 +381,7 @@ func (c *Client) countFailure() {
 	c.mu.Lock()
 	c.failures++
 	c.mu.Unlock()
-	c.rec.Emit(obs.Event{Kind: obs.KindClientFail, Cell: int32(c.cellID), Flow: int32(c.flowID), Site: obs.SiteHTTP})
+	c.rec.Emit(obs.ClientFail(int32(c.cellID), int32(c.flowID)))
 }
 
 // backoffLocked computes attempt n's delay: base·2^(n-1) capped at

@@ -3,6 +3,7 @@ package oneapi
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/has"
@@ -55,6 +56,10 @@ type Server struct {
 	// rec is the telemetry recorder (nil = disabled) shared by every
 	// per-cell controller this server creates.
 	rec *obs.Recorder
+	// wallClock, when non-nil, replaces time.Now as each controller's
+	// solver-latency clock (see core.Controller.SetWallClock). Tests
+	// fake it; production leaves it nil.
+	wallClock func() time.Time
 }
 
 // NewServer builds a OneAPI server that creates controllers with cfg.
@@ -77,6 +82,18 @@ func (s *Server) SetRecorder(rec *obs.Recorder) {
 	s.rec = rec
 	for id, c := range s.cells {
 		c.controller.SetRecorder(rec, id)
+	}
+}
+
+// SetWallClock injects the wall-clock source controllers use to time
+// BAI solves (nil restores time.Now). Like SetRecorder, it re-points
+// controllers that already exist, so attach order does not matter.
+func (s *Server) SetWallClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wallClock = now
+	for _, c := range s.cells {
+		c.controller.SetWallClock(now)
 	}
 }
 
@@ -105,6 +122,9 @@ func (s *Server) cell(cellID int) *cellState {
 			installSeq: make(map[int]int64),
 		}
 		c.controller.SetRecorder(s.rec, cellID)
+		if s.wallClock != nil {
+			c.controller.SetWallClock(s.wallClock)
+		}
 		s.cells[cellID] = c
 	}
 	return c
@@ -143,7 +163,7 @@ func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) 
 	if err := c.controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
 		return false, fmt.Errorf("oneapi: open session: %w", err)
 	}
-	s.rec.Emit(obs.Event{Kind: obs.KindSessionOpen, Cell: int32(cellID), Flow: int32(req.FlowID)})
+	s.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
 	return true, nil
 }
 
@@ -167,7 +187,7 @@ func (s *Server) CloseSession(cellID, flowID int) {
 		c.controller.Unregister(flowID)
 		delete(c.current, flowID)
 		delete(c.installSeq, flowID)
-		s.rec.Emit(obs.Event{Kind: obs.KindSessionClose, Cell: int32(cellID), Flow: int32(flowID)})
+		s.rec.Emit(obs.SessionClose(int32(cellID), int32(flowID)))
 	}
 }
 
@@ -243,7 +263,7 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 	}
 	c := s.cell(cellID)
 	if report.Seq > 0 && report.Seq <= c.lastReportSeq {
-		s.rec.Emit(obs.Event{Kind: obs.KindStale, Cell: int32(cellID), Flow: -1, Seq: report.Seq})
+		s.rec.Emit(obs.StaleReport(int32(cellID), report.Seq))
 		return StatsResponse{}, fmt.Errorf("oneapi: cell %d: report seq %d <= last accepted %d: %w",
 			cellID, report.Seq, c.lastReportSeq, ErrStaleReport)
 	}
@@ -264,20 +284,14 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 				// previous assignment and install sequence survive, so
 				// polling plugins see its age grow.
 				failed = append(failed, EnforcementFailure{FlowID: a.FlowID, Reason: err.Error()})
-				s.rec.Emit(obs.Event{
-					Kind: obs.KindInstallFail, Cell: int32(cellID), Flow: int32(a.FlowID),
-					Seq: c.baiSeq, Level: int32(a.Level), Bps: a.RateBps,
-				})
+				s.rec.Emit(obs.InstallFail(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
 				continue
 			}
 		}
 		c.current[a.FlowID] = a
 		c.installSeq[a.FlowID] = c.baiSeq
 		committed = append(committed, a)
-		s.rec.Emit(obs.Event{
-			Kind: obs.KindInstall, Cell: int32(cellID), Flow: int32(a.FlowID),
-			Seq: c.baiSeq, Level: int32(a.Level), Bps: a.RateBps,
-		})
+		s.rec.Emit(obs.Install(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
 	}
 	resp := StatsResponse{Assignments: committed, BAISeq: c.baiSeq, Failed: failed}
 	if len(failed) > 0 {

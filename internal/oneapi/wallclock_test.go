@@ -1,0 +1,49 @@
+package oneapi
+
+import (
+	"testing"
+	"time"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// TestServerSetWallClockPropagates: the server-level injection must
+// reach controllers created before AND after the call, so SolveTimes
+// reflects the fake clock for every cell.
+func TestServerSetWallClockPropagates(t *testing.T) {
+	s := serverForTest()
+
+	// Cell 0's controller exists before the injection...
+	if err := s.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+
+	fake := time.Unix(1_700_000_000, 0)
+	s.SetWallClock(func() time.Time {
+		fake = fake.Add(2 * time.Millisecond)
+		return fake
+	})
+
+	// ...cell 1's only after.
+	if err := s.OpenSession(1, SessionRequest{FlowID: 2, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+
+	pcef := PCEFFunc(func(int, float64) error { return nil })
+	for _, cell := range []int{0, 1} {
+		if _, err := s.RunBAI(cell, StatsReport{}, pcef); err != nil {
+			t.Fatalf("cell %d: %v", cell, err)
+		}
+	}
+	for _, cell := range []int{0, 1} {
+		times := s.SolveTimes(cell)
+		if len(times) != 1 {
+			t.Fatalf("cell %d: %d solve times, want 1", cell, len(times))
+		}
+		// SolveTimes reports seconds; each RunBAI reads the fake twice,
+		// so exactly one 2ms step.
+		if times[0] != 0.002 {
+			t.Fatalf("cell %d: solve time %vs through fake clock, want 0.002s", cell, times[0])
+		}
+	}
+}
