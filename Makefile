@@ -55,6 +55,7 @@ vuln:
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzMCKP -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGateApply -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzAdmission -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
 
 race:

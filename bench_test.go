@@ -245,3 +245,4 @@ func BenchmarkGateApply(b *testing.B) {
 func BenchmarkExtCoexistence(b *testing.B)   { runExperiment(b, "ext-coexist") }
 func BenchmarkExtABRComparison(b *testing.B) { runExperiment(b, "ext-abr") }
 func BenchmarkExtFaults(b *testing.B)        { runExperiment(b, "ext-faults") }
+func BenchmarkExtSaturation(b *testing.B)    { runExperiment(b, "ext-saturation") }

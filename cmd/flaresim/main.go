@@ -9,10 +9,20 @@
 //	         [-itbs 12] [-ladder sim|testbed|fine] [-seed 1]
 //	         [-alpha 1.0] [-delta 4] [-relax]
 //	         [-mix "flare:4,festive:4"]
+//	         [-churn 40s -offered-load 2.0] [-admission] [-admission-queue 8]
+//	         [-downgrade] [-objective eq2|upf]
 //	         [-ctrl-loss 0.3] [-ctrl-blackout 60s-90s]
 //	         [-fallback-polls 3] [-fallback-age 4]
 //	         [-trace run.jsonl] [-metrics-dump]
 //	         [-cpuprofile cpu.prof] [-memprofile mem.prof] [-version]
+//
+// -churn replaces the fixed population with Poisson arrivals and
+// heavy-tailed session lengths; -offered-load scales the arrival rate
+// against the cell's floor-carrying capacity (2.0 = twice what the RB
+// budget can hold at the ladder floor). -admission/-downgrade turn on
+// the saturation machinery: sessions the budget cannot floor are
+// refused (and queued), and overload sheds per-flow ceilings down the
+// ladder with hysteresis.
 //
 // -mix runs a mixed-scheme cell: a comma-separated list of
 // scheme:count groups that overrides -scheme/-videos for the video
@@ -39,6 +49,7 @@ import (
 	"github.com/flare-sim/flare/internal/abr"
 	"github.com/flare-sim/flare/internal/buildinfo"
 	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/faults"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/lte"
@@ -90,6 +101,13 @@ func run() int {
 		relax       = flag.Bool("relax", false, "use FLARE's continuous-relaxation solver")
 		vbr         = flag.Float64("vbr", 0, "VBR segment-size jitter (0 = CBR, e.g. 0.3)")
 		mix         = flag.String("mix", "", `mixed-scheme cell as "scheme:count,scheme:count" (e.g. "flare:4,festive:4"); overrides -scheme/-videos`)
+
+		churnDur    = flag.Duration("churn", 0, "enable session churn: mean session length (Poisson arrivals, Pareto durations); pairs with -offered-load and overrides -videos")
+		offeredLoad = flag.Float64("offered-load", 0, "churn arrival rate as a multiple of the cell's floor-carrying capacity (requires -churn and -channel static)")
+		admission   = flag.Bool("admission", false, "enable FLARE admission control: refuse sessions the RB budget cannot keep at the ladder floor")
+		admQueue    = flag.Int("admission-queue", 0, "admission wait-queue depth (0 = default, negative = no queue)")
+		downgrade   = flag.Bool("downgrade", false, "enable the FLARE overload downgrade ladder (ceiling shedding with hysteresis)")
+		objective   = flag.String("objective", "", "FLARE utility objective: eq2 (paper default) or upf (utility-proportional fairness)")
 
 		ctrlLoss     = flag.Float64("ctrl-loss", 0, "control-plane drop rate for stats reports and assignment polls (0..1)")
 		ctrlSeed     = flag.Uint64("ctrl-seed", 0xfa17, "fault injector seed (independent of -seed)")
@@ -198,6 +216,15 @@ func run() int {
 		cfg.ControlFaults.Blackouts = windows
 	}
 	cfg.Fallback = abr.FallbackConfig{AfterFailedPolls: *fbPolls, MaxAssignmentAgeBAIs: *fbAge}
+	cfg.Flare.AdmissionControl = *admission
+	cfg.Flare.AdmissionQueue = *admQueue
+	cfg.Flare.DowngradeLadder = *downgrade
+	cfg.Flare.Objective = *objective
+	if _, ok := core.ObjectiveByName(*objective); !ok {
+		fmt.Fprintf(os.Stderr, "flaresim: unknown objective %q (want one of %s)\n",
+			*objective, strings.Join(core.ObjectiveNames(), ", "))
+		return 2
+	}
 
 	switch *channelName {
 	case "static":
@@ -215,6 +242,35 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "flaresim: unknown channel %q\n", *channelName)
 		return 2
+	}
+
+	// Churn: -churn gives the mean session length, -offered-load the
+	// arrival rate as a multiple of the cell's floor-carrying capacity
+	// (how many sessions the RB budget holds at the ladder's lowest
+	// encoding). Little's law turns the pair into a Poisson
+	// interarrival gap. The capacity estimate needs a fixed link, so
+	// churn is pinned to the static channel.
+	if *churnDur > 0 || *offeredLoad > 0 {
+		if *churnDur <= 0 || *offeredLoad <= 0 {
+			fmt.Fprintln(os.Stderr, "flaresim: -churn and -offered-load go together")
+			return 2
+		}
+		if cfg.Channel.Kind != cellsim.ChannelStatic {
+			fmt.Fprintln(os.Stderr, "flaresim: -offered-load needs -channel static (the floor-capacity estimate is per-iTbs)")
+			return 2
+		}
+		if len(groups) > 0 {
+			fmt.Fprintln(os.Stderr, "flaresim: -churn does not support -mix")
+			return 2
+		}
+		floorSessions := lte.CellRateBps(*iTbs) * cfg.Flare.CapacityMargin / cfg.Ladder.Min()
+		gap := churnDur.Seconds() / (*offeredLoad * floorSessions)
+		cfg.NumVideo = 0 // the generator populates the cell
+		cfg.Churn = cellsim.ChurnConfig{
+			Enabled:          true,
+			MeanInterarrival: time.Duration(gap * float64(time.Second)),
+			MeanDuration:     *churnDur,
+		}
 	}
 
 	// Telemetry: -trace streams the event log as JSONL, -metrics-dump
@@ -261,8 +317,12 @@ func run() int {
 		return 0
 	}
 
+	nVideo := *videos
+	if cfg.Churn.Enabled {
+		nVideo = len(res.Clients)
+	}
 	fmt.Printf("%s over %v (%d video, %d data, %s channel, seed %d)\n\n",
-		scheme, *duration, *videos, *data, *channelName, *seed)
+		scheme, *duration, nVideo, *data, *channelName, *seed)
 	tbl := metrics.NewTable("Per-client results",
 		"avg rate", "avg tput", "changes", "segments", "stall s", "startup s", "QoE")
 	addClient := func(kind string, c cellsim.ClientResult) {
@@ -310,6 +370,16 @@ func run() int {
 		}
 		fmt.Printf("plugin fallback:     %d mode transitions, %d degraded BAIs across clients\n",
 			res.TotalFallbackTransitions(), fbBAIs)
+	}
+	if *admission {
+		adm := 0
+		for _, c := range res.Clients {
+			if c.Admitted {
+				adm++
+			}
+		}
+		fmt.Printf("admission:           %d/%d flows admitted, %d refused opens\n",
+			adm, len(res.Clients), res.ControlPlane.AdmissionRejects)
 	}
 	return 0
 }

@@ -21,9 +21,16 @@
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get a draining deadline before the listener closes.
 //
+// Saturation controls: -admission refuses session opens that would
+// break the floor-bitrate budget (HTTP 503 with a Retry-After hint),
+// -admission-queue holds that many refused opens for promotion when
+// capacity frees, -downgrade sheds ladder ceilings under sustained
+// overload, and -objective selects the utility model (eq2 or upf).
+//
 // Usage:
 //
 //	oneapiserver [-addr :8480] [-alpha 1.0] [-delta 4] [-bai 1s] [-relax]
+//	             [-objective eq2|upf] [-admission] [-admission-queue 8] [-downgrade]
 //	             [-fault-drop 0.2] [-fault-fail 0.1] [-fault-delay 0.1]
 //	             [-fault-delay-by 2s] [-fault-blackout 60s-90s] [-fault-seed 1]
 //	             [-ring 4096] [-version]
@@ -60,8 +67,13 @@ func run() int {
 		delta   = flag.Int("delta", 4, "Algorithm 1 stability parameter")
 		bai     = flag.Duration("bai", time.Second, "bitrate assignment interval")
 		relax   = flag.Bool("relax", false, "use the continuous-relaxation solver")
-		ring    = flag.Int("ring", 0, "flight-recorder ring size in events (0 = default 4096, negative = disabled)")
-		version = flag.Bool("version", false, "print version and exit")
+		objName = flag.String("objective", "", "utility objective: eq2 (paper Eq. 2, default) or upf")
+
+		admission = flag.Bool("admission", false, "refuse session opens that would break the floor-bitrate budget (503 + Retry-After)")
+		admQueue  = flag.Int("admission-queue", 0, "bounded wait queue for refused opens (0 = refuse immediately)")
+		downgrade = flag.Bool("downgrade", false, "shed ladder ceilings under sustained overload instead of stalling flows")
+		ring      = flag.Int("ring", 0, "flight-recorder ring size in events (0 = default 4096, negative = disabled)")
+		version   = flag.Bool("version", false, "print version and exit")
 
 		faultDrop     = flag.Float64("fault-drop", 0, "fraction of requests answered 503 as if lost (0..1)")
 		faultFail     = flag.Float64("fault-fail", 0, "fraction of requests answered with an injected server error (0..1)")
@@ -81,6 +93,15 @@ func run() int {
 	cfg.Delta = *delta
 	cfg.BAI = *bai
 	cfg.UseRelaxation = *relax
+	if _, ok := core.ObjectiveByName(*objName); !ok {
+		fmt.Fprintf(os.Stderr, "oneapiserver: unknown -objective %q (have %s)\n",
+			*objName, strings.Join(core.ObjectiveNames(), ", "))
+		return 2
+	}
+	cfg.Objective = *objName
+	cfg.AdmissionControl = *admission
+	cfg.AdmissionQueue = *admQueue
+	cfg.DowngradeLadder = *downgrade
 
 	faultCfg := faults.Config{
 		Seed:     *faultSeed,

@@ -50,7 +50,7 @@ func TestFacadeController(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(AllExperiments()) != 14 {
+	if len(AllExperiments()) != 15 {
 		t.Fatalf("%d experiments", len(AllExperiments()))
 	}
 	if _, err := ExperimentByID("table1"); err != nil {

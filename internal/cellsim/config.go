@@ -187,6 +187,13 @@ type Config struct {
 	// Transport configures the TCP model.
 	Transport transport.Config
 
+	// Churn, when enabled, *generates* the arrival/departure schedule:
+	// Poisson arrivals with heavy-tailed (Pareto) durations, expanded
+	// deterministically from Seed into VideoArrivals/VideoDepartures/
+	// NumVideo at build time. Incompatible with setting those fields
+	// explicitly and with VideoGroups.
+	Churn ChurnConfig
+
 	// VideoArrivals optionally staggers video-session start times (one
 	// entry per video client). Unset clients start within the first two
 	// seconds. The paper's Algorithm 1 explicitly permits bitrate drops

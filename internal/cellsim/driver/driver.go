@@ -116,6 +116,17 @@ type Controller interface {
 	Close() error
 }
 
+// ArrivalAware is implemented by drivers that need to know the moment a
+// flow's session actually starts playing (as opposed to cell assembly,
+// when every flow of the run is built ahead of time). The engine calls
+// OnFlowArrival from the flow's arrival event, before its first
+// download. Admission-controlled schemes open their network sessions
+// here — opening at Init would charge the cell for flows that have not
+// arrived yet.
+type ArrivalAware interface {
+	OnFlowArrival(f *Flow)
+}
+
 // SliceSizer is implemented by drivers whose SchedulerPolicy is
 // PolicySliced: it sizes the static video share of the cell given the
 // total video and background (data + legacy) populations.
@@ -134,6 +145,9 @@ type ControlStats struct {
 	// EnforceFailures counts per-flow enforcement installs that failed
 	// during otherwise-successful intervals.
 	EnforceFailures int
+	// AdmissionRejects counts session opens the admission predicate
+	// refused (including bounded re-tries of the same flow).
+	AdmissionRejects int
 }
 
 // ControlTelemetry is implemented by drivers with a network control
@@ -151,6 +165,16 @@ type FlowExtras struct {
 	FallbackTransitions int
 	// FallbackIntervals counts control intervals spent degraded.
 	FallbackIntervals int
+	// Admitted reports whether the flow's session was (ever) admitted to
+	// the network control plane. Always true for schemes without
+	// admission control.
+	Admitted bool
+	// PreAdmissionStallSeconds is the portion of the player's stall time
+	// accrued before the session was admitted (plus a short settling
+	// window after a mid-stream admission) — starvation from the
+	// unadmitted local-ABR period, not a coordination failure. Zero for
+	// schemes without admission control.
+	PreAdmissionStallSeconds float64
 }
 
 // FlowTelemetry is implemented by drivers that keep per-flow

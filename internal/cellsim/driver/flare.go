@@ -42,12 +42,70 @@ type flareDriver struct {
 
 	// Buffer-feedback state: the active per-flow cap in bps (0 = none).
 	bufferCaps []float64
+
+	// Admission-mode state, parallel to flows; nil when the controller
+	// runs without admission control (sessions then open at Init, the
+	// paper's behaviour). See OnFlowArrival.
+	admission []flowAdmission
+	baiCount  int64 // OnBAI ordinal, the clock for admission re-tries
 }
+
+// flowAdmission tracks one flow's session through the admission state
+// machine: not yet arrived → arrived (open attempted, possibly
+// rejected and re-tried with a doubling gap) → opened.
+type flowAdmission struct {
+	arrived    bool
+	opened     bool
+	everOpened bool
+	nextTry    int64 // BAI ordinal of the next open attempt
+	gap        int64 // current re-try gap in BAIs
+	// stallBase is the player's cumulative stall time at the moment the
+	// coordinated plane takes ownership of the flow — stalls accrued
+	// before it are starvation from the unadmitted (local-ABR) period
+	// and the recovery from it, not a coordination failure. Ownership
+	// transfers once the grace window has passed AND the plane has
+	// delivered the player a healthy buffer for the first time; until
+	// then the base keeps tracking the stall total (graceBAI 0 = settled,
+	// no sample pending).
+	stallBase float64
+	graceBAI  int64
+}
+
+// admissionRetryCap bounds the doubling re-try gap: an unadmitted flow
+// keeps knocking at least every 16 BAIs while it plays on local ABR.
+const admissionRetryCap = 16
+
+// admissionGBRHeadroom inflates installed GBRs when admission control is
+// active. The admission budget plans at CapacityMargin of the cell, so
+// the margin is guaranteed spare; handing it back as per-flow
+// enforcement headroom keeps floor-pinned flows strictly above their
+// encoding rate. (A GBR exactly at the encoding rate is a knife edge:
+// any scheduling or request-pipeline gap drains the buffer, and at a
+// refill rate of ~zero a single stall can last tens of seconds.)
+const admissionGBRHeadroom = 1.1
+
+// admissionGraceBAIs is the minimum settling window after a mid-stream
+// admission: one interval for the first coordinated assignment to
+// arrive plus one for refill to begin. Ownership of stall time only
+// transfers to the coordinated plane once this window has passed and
+// the player's buffer has first reached admissionHealthyBufferSeconds —
+// a flow admitted off the wait queue with a starved buffer refills at
+// floor x headroom minus the play rate, which can take tens of seconds
+// under deep saturation, and stalls during that recovery are still the
+// admission policy's queueing choice (see flowAdmission.stallBase).
+const admissionGraceBAIs = 2
+
+// admissionHealthyBufferSeconds is the playout-buffer level at which the
+// coordinated plane is considered to have recovered an admitted flow
+// from its pre-admission starvation (two segments at the saturation
+// scenarios' 2 s segment duration).
+const admissionHealthyBufferSeconds = 4.0
 
 var (
 	_ Controller       = (*flareDriver)(nil)
 	_ ControlTelemetry = (*flareDriver)(nil)
 	_ FlowTelemetry    = (*flareDriver)(nil)
+	_ ArrivalAware     = (*flareDriver)(nil)
 )
 
 func newFlareDriver(cfg Config) (Controller, error) {
@@ -103,10 +161,17 @@ func (d *flareDriver) NewAdapter(int) (has.Adapter, error) {
 func (d *flareDriver) Init(e Engine, flows []*Flow) error {
 	d.e = e
 	d.flows = flows
-	for _, f := range flows {
-		req := oneapi.SessionRequest{FlowID: f.ID, LadderBps: f.Player.MPD().Ladder()}
-		if err := d.server.OpenSession(d.cellID, req); err != nil {
-			return err
+	if d.cfg.Flare.AdmissionControl {
+		// Sessions open at arrival time instead (OnFlowArrival): opening
+		// here would charge the admission predicate for flows that have
+		// not started yet.
+		d.admission = make([]flowAdmission, len(flows))
+	} else {
+		for _, f := range flows {
+			req := oneapi.SessionRequest{FlowID: f.ID, LadderBps: f.Player.MPD().Ladder()}
+			if err := d.server.OpenSession(d.cellID, req); err != nil {
+				return err
+			}
 		}
 	}
 	for _, id := range d.cfg.BackgroundFlowIDs {
@@ -195,7 +260,66 @@ func (d *flareDriver) sendBufferFeedback() {
 // the window accounting accumulates into the next report, while lost
 // polls feed the plugins' fallback detectors. With no faults configured
 // the behaviour — and the RNG stream — is identical to a direct push.
+// OnFlowArrival implements ArrivalAware: in admission mode the flow's
+// session opens here, at the moment it actually starts. A rejection is
+// not fatal — the flow starts on its plugin's local ABR and the open is
+// re-tried on a doubling BAI gap (and a server-side queue promotion is
+// picked up by the poll loop even sooner).
+func (d *flareDriver) OnFlowArrival(f *Flow) {
+	if d.admission == nil || f.Index < 0 || f.Index >= len(d.admission) {
+		return
+	}
+	st := &d.admission[f.Index]
+	st.arrived = true
+	d.tryOpen(f, st)
+}
+
+// tryOpen attempts one admission-mode session open and advances the
+// flow's re-try schedule.
+func (d *flareDriver) tryOpen(f *Flow, st *flowAdmission) {
+	req := oneapi.SessionRequest{FlowID: f.ID, LadderBps: f.Player.MPD().Ladder()}
+	err := d.server.OpenSession(d.cellID, req)
+	switch {
+	case err == nil:
+		st.opened = true
+		st.everOpened = true
+		st.gap = 0
+		st.stallBase = f.Player.StallSeconds()
+		st.graceBAI = d.baiCount + admissionGraceBAIs
+	case errors.Is(err, oneapi.ErrAdmissionRejected):
+		d.ctrl.AdmissionRejects++
+		if st.gap == 0 {
+			st.gap = 1
+		} else if st.gap < admissionRetryCap {
+			st.gap *= 2
+			if st.gap > admissionRetryCap {
+				st.gap = admissionRetryCap
+			}
+		}
+		st.nextTry = d.baiCount + st.gap
+	default:
+		// Transient (non-admission) failure: knock again next interval.
+		st.nextTry = d.baiCount + 1
+	}
+}
+
+// retryAdmissions re-attempts due opens before the interval's report,
+// so a freshly admitted flow is part of this BAI's optimisation.
+func (d *flareDriver) retryAdmissions() {
+	for i, f := range d.flows {
+		st := &d.admission[i]
+		if !st.arrived || st.opened || f.Player.Done() || d.baiCount < st.nextTry {
+			continue
+		}
+		d.tryOpen(f, st)
+	}
+}
+
 func (d *flareDriver) OnBAI(now time.Duration) error {
+	d.baiCount++
+	if d.admission != nil {
+		d.retryAdmissions()
+	}
 	reportLost := false
 	// Legacy knob first (draws from the primary RNG, preserving
 	// pre-fault-injector determinism for configs that use it)...
@@ -214,6 +338,9 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 		d.sendBufferFeedback()
 		report := oneapi.StatsReport{Flows: d.e.CollectStats(d.flows), NumDataFlows: -1}
 		pcef := oneapi.PCEFFunc(func(flowID int, gbr float64) error {
+			if d.admission != nil {
+				gbr *= admissionGBRHeadroom
+			}
 			return d.e.SetGBR(flowID, gbr)
 		})
 		_, err := d.server.RunBAI(d.cellID, report, pcef)
@@ -235,6 +362,41 @@ func (d *flareDriver) OnBAI(now time.Duration) error {
 		plugin := d.plugins[i]
 		if plugin == nil || f.Player.Done() {
 			continue
+		}
+		if d.admission != nil {
+			st := &d.admission[i]
+			if !st.arrived {
+				continue // session not started yet: nothing to poll
+			}
+			if !st.opened {
+				// Waiting for admission: the flow plays on its local
+				// ABR. A successful poll means the server promoted the
+				// session from its wait queue — upgrade to coordinated
+				// on the spot; otherwise feed the fallback detector so
+				// the plugin degrades promptly.
+				if a, ok := d.server.Assignment(d.cellID, f.ID); ok {
+					st.opened = true
+					st.everOpened = true
+					st.gap = 0
+					st.stallBase = f.Player.StallSeconds()
+					st.graceBAI = d.baiCount + admissionGraceBAIs
+					d.rec.Emit(obs.Deliver(int32(d.cellID), int32(f.ID), a.BAISeq, int32(a.Level), a.RateBps))
+					plugin.Deliver(a.RateBps, a.BAISeq)
+				} else {
+					plugin.PollFailed()
+				}
+				continue
+			}
+			if st.graceBAI != 0 && d.baiCount >= st.graceBAI {
+				// Grace passed: keep absorbing stall time into the base
+				// until the plane has refilled the player once; from
+				// that first healthy buffer on, stalls are the
+				// coordinated plane's responsibility.
+				st.stallBase = f.Player.StallSeconds()
+				if f.Player.BufferSeconds() >= admissionHealthyBufferSeconds {
+					st.graceBAI = 0
+				}
+			}
 		}
 		if d.pollFaults != nil && d.pollFaults.Decide(now).Lost() {
 			d.ctrl.PollsLost++
@@ -262,6 +424,11 @@ func (d *flareDriver) OnSegmentComplete(*Flow, has.SegmentRecord) {}
 // the next BAI redistributes its share.
 func (d *flareDriver) OnFlowDeparture(f *Flow) {
 	d.server.CloseSession(d.cellID, f.ID)
+	if d.admission != nil && f.Index >= 0 && f.Index < len(d.admission) {
+		st := &d.admission[f.Index]
+		st.arrived = false
+		st.opened = false
+	}
 }
 
 // Close implements Controller. Sessions are deliberately left open: a
@@ -278,12 +445,21 @@ func (d *flareDriver) SolveTimes() []float64 { return d.server.SolveTimes(d.cell
 // FlowExtras implements FlowTelemetry: the plugin's coordination-mode
 // counters.
 func (d *flareDriver) FlowExtras(f *Flow) FlowExtras {
+	admitted := true
+	var preStall float64
+	if d.admission != nil && f.Index >= 0 && f.Index < len(d.admission) {
+		st := d.admission[f.Index]
+		admitted = st.everOpened
+		preStall = st.stallBase
+	}
 	if f.Index < 0 || f.Index >= len(d.plugins) || d.plugins[f.Index] == nil {
-		return FlowExtras{}
+		return FlowExtras{Admitted: admitted, PreAdmissionStallSeconds: preStall}
 	}
 	p := d.plugins[f.Index]
 	return FlowExtras{
-		FallbackTransitions: p.Transitions(),
-		FallbackIntervals:   p.FallbackIntervals(),
+		FallbackTransitions:      p.Transitions(),
+		FallbackIntervals:        p.FallbackIntervals(),
+		Admitted:                 admitted,
+		PreAdmissionStallSeconds: preStall,
 	}
 }

@@ -44,12 +44,21 @@ type goldenData struct {
 	AvgTputBps float64
 }
 
+// goldenControl mirrors driver.ControlStats as of the capture, for the
+// same reason goldenClient exists: fields added to the live struct
+// later must not change the golden encoding.
+type goldenControl struct {
+	ReportsLost     int
+	PollsLost       int
+	EnforceFailures int
+}
+
 type goldenResult struct {
 	Scheme       string
 	Clients      []goldenClient
 	Data         []goldenData
 	Legacy       []goldenClient
-	ControlPlane ControlPlaneStats
+	ControlPlane goldenControl
 	// NumBAIs is the count of solver invocations; the wall times
 	// themselves are the one legitimately non-deterministic output.
 	NumBAIs int
@@ -73,9 +82,13 @@ func toGoldenClient(c ClientResult) goldenClient {
 
 func toGolden(r *Result) goldenResult {
 	g := goldenResult{
-		Scheme:       r.Scheme.String(),
-		ControlPlane: r.ControlPlane,
-		NumBAIs:      len(r.SolveTimesSec),
+		Scheme: r.Scheme.String(),
+		ControlPlane: goldenControl{
+			ReportsLost:     r.ControlPlane.ReportsLost,
+			PollsLost:       r.ControlPlane.PollsLost,
+			EnforceFailures: r.ControlPlane.EnforceFailures,
+		},
+		NumBAIs: len(r.SolveTimesSec),
 	}
 	for _, c := range r.Clients {
 		g.Clients = append(g.Clients, toGoldenClient(c))

@@ -42,6 +42,17 @@ type ClientResult struct {
 	// FallbackIntervals counts control-plane intervals (BAIs) the
 	// plugin spent degraded to its local ABR.
 	FallbackIntervals int
+	// Admitted reports whether the flow's session was admitted by the
+	// network control plane. Always true except under FLARE admission
+	// control, where a refused flow plays out on its local ABR.
+	Admitted bool
+	// StallSecondsPreAdmit is the portion of StallSeconds accrued before
+	// the session was admitted (plus a short settling window after a
+	// mid-stream admission): starvation from the unadmitted local-ABR
+	// period. StallSeconds - StallSecondsPreAdmit is the rebuffering the
+	// coordinated plane is answerable for. Zero without admission
+	// control.
+	StallSecondsPreAdmit float64
 }
 
 // ControlPlaneStats aggregates control-plane fault activity over a run

@@ -135,6 +135,9 @@ func New(cfg Config) (*Sim, error) {
 // cell". A nil server gives FLARE cells their own private one; schemes
 // without a OneAPI control plane ignore it.
 func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
+	if err := cfg.expandChurn(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -472,6 +475,9 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 			}
 			s.env.events.Schedule(startTTI, func() {
 				s.rec.Emit(obs.FlowStart(int32(s.cellID), int32(f.ID)))
+				if aa, ok := g.ctrl.(driver.ArrivalAware); ok {
+					aa.OnFlowArrival(f)
+				}
 				p.Start()
 			})
 			if len(s.cfg.VideoDepartures) > 0 && s.cfg.VideoDepartures[f.ID] > 0 {
@@ -699,10 +705,13 @@ func (s *Sim) buildResult() *Result {
 				StartupDelaySeconds: p.StartupDelaySeconds(),
 				QoEScore:            qoe.Score(rates, p.StallSeconds(), p.StartupDelaySeconds(), qoe.DefaultWeights()),
 			}
+			cr.Admitted = true
 			if telemetry != nil {
 				ex := telemetry.FlowExtras(f)
 				cr.FallbackTransitions = ex.FallbackTransitions
 				cr.FallbackIntervals = ex.FallbackIntervals
+				cr.Admitted = ex.Admitted
+				cr.StallSecondsPreAdmit = ex.PreAdmissionStallSeconds
 			}
 			res.Clients = append(res.Clients, cr)
 		}

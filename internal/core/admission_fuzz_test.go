@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// FuzzAdmission drives the saturation machinery with an adversarial op
+// stream and checks its contract from both sides:
+//
+//   - an admitted session never pushes the cell's floor demand past the
+//     RB budget (admitted flows can all hold their floor level);
+//   - a rejection is honest — the budget really cannot absorb the
+//     candidate's floor cost on top of the registered demand;
+//   - the downgrade ladder is monotone with hysteresis: at most one
+//     step per BAI, sheds only under overload, restores only after
+//     shedHoldBAIs consecutive calm BAIs, and never leaves [0, maxShed].
+//
+// Each op byte selects open / close / radio-cost update / shed step, so
+// the corpus explores interleavings the simulator never produces
+// (churn storms, cost spikes mid-queue, sheds racing departures).
+func FuzzAdmission(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})                         // admit a burst on one ladder
+	f.Add([]byte{0, 1, 0, 65, 2, 0x10, 0, 130})                   // mixed ladders with closes
+	f.Add([]byte{0, 0, 0, 0, 3, 0xff, 3, 0xff, 3, 0x00, 3, 0x00}) // saturate then shed then calm
+	f.Add([]byte{0, 2, 0xf0, 0, 2, 0x01, 1, 0, 3, 0x80, 3, 0x80}) // cost swings around the predicate
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		cfg := DefaultConfig()
+		cfg.AdmissionControl = true
+		cfg.DowngradeLadder = true
+		c := NewController(cfg)
+
+		ladders := []has.Ladder{has.SimLadder(), has.TestbedLadder(), has.FineLadder()}
+		const maxShed = 16
+		var (
+			live   []int
+			nextID int
+			calm   int // calm-BAI streak mirrored from the hysteresis spec
+		)
+		for i := 0; i < len(ops); i++ {
+			op := ops[i]
+			arg := byte(0)
+			if i+1 < len(ops) {
+				arg = ops[i+1]
+				i++
+			}
+			switch op % 4 {
+			case 0: // try to open a session
+				ladder := ladders[int(arg)%len(ladders)]
+				demand := c.FloorDemandRBs()
+				cand := cfg.BAI.Seconds() * ladder.Min() / 8 / DefaultBytesPerRB
+				if c.CanAdmit(ladder) {
+					if demand+cand > c.budgetRBs()+1e-9 {
+						t.Fatalf("admitted past the budget: demand %.1f + cand %.1f > %.1f RBs",
+							demand, cand, c.budgetRBs())
+					}
+					if err := c.Register(nextID, ladder, Preferences{}); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, nextID)
+					nextID++
+					if c.FloorDemandRBs() > c.budgetRBs()+1e-9 {
+						t.Fatalf("floor demand %.1f RBs exceeds budget %.1f after an admitted open",
+							c.FloorDemandRBs(), c.budgetRBs())
+					}
+				} else if demand+cand <= c.budgetRBs() {
+					t.Fatalf("dishonest reject: demand %.1f + cand %.1f fits budget %.1f RBs",
+						demand, cand, c.budgetRBs())
+				}
+			case 1: // close a live session
+				if len(live) == 0 {
+					continue
+				}
+				k := int(arg) % len(live)
+				c.Unregister(live[k])
+				live = append(live[:k], live[k+1:]...)
+			case 2: // radio-cost report for a live session
+				if len(live) == 0 {
+					continue
+				}
+				id := live[int(arg)%len(live)]
+				// Bytes in [1, 256] per 10 RBs: cost swings across the
+				// admission knife edge without leaving float sanity.
+				stats := map[int]FlowStats{id: {Bytes: int64(arg) + 1, RBs: 10}}
+				if _, err := c.RunBAI(stats, 0); err != nil {
+					t.Fatal(err)
+				}
+				// The solve ran the real shed state machine; resync the
+				// mirrored hysteresis counter to it.
+				calm = c.calmStreak
+			case 3: // one downgrade-ladder step with a synthetic solve
+				share := float64(arg) / 255 * 1.2 // sweeps past both watermarks
+				sol := Solution{Feasible: arg%5 != 0, VideoShare: share}
+				before := c.ShedLevel()
+				c.updateShed(sol, maxShed)
+				after := c.ShedLevel()
+				if after < 0 || after > maxShed {
+					t.Fatalf("shed %d outside [0, %d]", after, maxShed)
+				}
+				if d := after - before; d > 1 || d < -1 {
+					t.Fatalf("shed jumped %d -> %d in one BAI", before, after)
+				}
+				overloaded := !sol.Feasible || share > shedHighShare
+				if after > before && !overloaded {
+					t.Fatalf("shed rose %d -> %d without overload (share %.3f feasible %v)",
+						before, after, share, sol.Feasible)
+				}
+				if after < before && calm+1 < shedHoldBAIs {
+					t.Fatalf("shed released %d -> %d after only %d calm BAIs (hold %d)",
+						before, after, calm+1, shedHoldBAIs)
+				}
+				// Mirror the hysteresis counter the contract promises.
+				switch {
+				case overloaded, before == 0, share >= shedLowShare:
+					calm = 0
+				case after < before:
+					calm = 0
+				default:
+					calm++
+				}
+			}
+		}
+	})
+}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/flare-sim/flare/internal/has"
-	"github.com/flare-sim/flare/internal/lte"
 	"github.com/flare-sim/flare/internal/obs"
 )
 
@@ -49,7 +48,39 @@ type Config struct {
 	// down-switches Algorithm 1 permits. 1 reproduces the paper's
 	// raw-sample behaviour; 0 falls back to the default (0.3).
 	CostSmoothing float64
+	// Objective names the per-flow utility model: "" or "eq2" for the
+	// paper's Eq. 2 utility, "upf" for utility-proportional fairness
+	// (see ObjectiveByName). Unknown names fall back to the default.
+	Objective string
+	// AdmissionControl enables the saturation admission predicate: a
+	// new session is admitted only while every already-registered flow
+	// plus the candidate can hold its floor (lowest-ladder) level
+	// within the BAI's RB budget. Off (the default), registration is
+	// unconditional — the paper's behaviour.
+	AdmissionControl bool
+	// AdmissionQueue bounds the OneAPI server's deferred-admission
+	// FIFO: sessions rejected by the predicate wait there and are
+	// promoted in arrival order when capacity frees. 0 means the
+	// default (8); negative disables queueing (reject outright).
+	AdmissionQueue int
+	// DowngradeLadder enables the overload shedding policy: when the
+	// solved assignment saturates the cell the controller caps every
+	// flow's ceiling one ladder step lower (stepwise, with hysteresis
+	// on the release side) instead of letting radio-cost noise starve
+	// flows into stalls, and restores the ceiling when load drops.
+	DowngradeLadder bool
 }
+
+// Downgrade-ladder hysteresis: one shed step is taken when the solved
+// video share exceeds shedHighShare (or the instance is infeasible),
+// and released only after shedHoldBAIs consecutive BAIs below
+// shedLowShare — so the ladder never oscillates on the noise that
+// triggered it.
+const (
+	shedHighShare = 0.96
+	shedLowShare  = 0.85
+	shedHoldBAIs  = 4
+)
 
 // DefaultConfig returns the paper's Table IV parameters with a 1 s BAI.
 // The paper does not state the BAI length, but Algorithm 1's up-switch
@@ -130,10 +161,17 @@ func (f *ctrlFlow) effectiveMaxBps() float64 {
 // runs the optimiser + Algorithm 1 once per BAI.
 type Controller struct {
 	cfg   Config
+	obj   Objective
 	exact *ExactSolver
 	relax *RelaxedSolver
 	gate  *Gate
 	flows map[int]*ctrlFlow
+
+	// Downgrade-ladder state (cfg.DowngradeLadder): shed is how many
+	// ladder steps are currently shaved off every flow's ceiling, and
+	// calmStreak counts consecutive BAIs below the release watermark.
+	shed       int
+	calmStreak int
 
 	solveTimes []time.Duration
 
@@ -177,8 +215,10 @@ func NewController(cfg Config) *Controller {
 	if cfg.CapacityMargin <= 0 || cfg.CapacityMargin > 1 {
 		cfg.CapacityMargin = def.CapacityMargin
 	}
+	obj, _ := ObjectiveByName(cfg.Objective)
 	return &Controller{
 		cfg:   cfg,
+		obj:   obj,
 		exact: NewExactSolver(),
 		relax: NewRelaxedSolver(),
 		gate:  NewGate(cfg.Delta),
@@ -335,9 +375,10 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 
 	prob := Problem{
 		Flows:           make([]VideoFlow, len(ids)),
+		Objective:       c.obj,
 		NumDataFlows:    numDataFlows,
 		Alpha:           c.cfg.Alpha,
-		TotalRBs:        float64(lte.NumRB) * c.cfg.BAI.Seconds() * lte.TTIsPerSecond * c.cfg.CapacityMargin,
+		TotalRBs:        c.budgetRBs(),
 		BAISeconds:      c.cfg.BAI.Seconds(),
 		StickinessBonus: c.cfg.StickinessBonus,
 	}
@@ -350,7 +391,7 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 			ThetaBps:   f.theta,
 			PrevLevel:  f.level,
 			RBsPerByte: f.rbsPerByte,
-			MaxBps:     f.effectiveMaxBps(),
+			MaxBps:     c.shedCap(f),
 		}
 	}
 
@@ -372,6 +413,16 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 	c.baiSeq++
 	c.rec.Emit(obs.BAISolve(c.cellID, c.baiSeq, int32(numDataFlows),
 		int64(prob.TotalRBs), sol.Objective, elapsed.Nanoseconds()))
+
+	if c.cfg.DowngradeLadder {
+		maxShed := 0
+		for i := range prob.Flows {
+			if l := prob.Flows[i].Ladder.Len() - 1; l > maxShed {
+				maxShed = l
+			}
+		}
+		c.updateShed(sol, maxShed)
+	}
 
 	out := make([]Assignment, len(ids))
 	for i, id := range ids {

@@ -1,0 +1,94 @@
+package core
+
+import "math"
+
+// Objective abstracts the per-flow utility model of Eq. 2 so the same
+// solvers (the exact MCKP DP and the KKT water-filling relaxation) can
+// optimise different notions of fairness. An objective supplies two
+// views of the same concave utility U(R):
+//
+//   - Utility, the value itself, consumed by the discrete solvers
+//     (mckp.go's per-level utility table, greedyRepair, ObjectiveAt);
+//   - RateForMarginal, the inverse of the marginal U'(R), consumed by
+//     the relaxed solver: given the water-filling condition
+//     U'(R) = lambda*a it returns the stationary-point rate R (before
+//     clamping to the flow's ladder interval).
+//
+// Implementations must be stateless values: a Problem is rebuilt every
+// BAI and the default instances are shared across controllers.
+type Objective interface {
+	// Name is the registry key (see ObjectiveByName).
+	Name() string
+	// Utility returns U(rateBps) for a flow with the given beta/theta
+	// parameters. It must be concave and nondecreasing in rateBps.
+	Utility(beta, thetaBps, rateBps float64) float64
+	// RateForMarginal returns the rate at which U'(R) equals lambdaA
+	// (the KKT multiplier scaled by the flow's RBs-per-bps cost). The
+	// caller clamps the result to the flow's feasible rate interval,
+	// so out-of-range or non-positive returns are acceptable.
+	RateForMarginal(beta, thetaBps, lambdaA float64) float64
+}
+
+// eq2Objective is the paper's Eq. 2 sigmoid-tail utility
+// U(R) = beta*(1 - theta/R). Its marginal is beta*theta/R^2, so the
+// KKT stationary point is R = sqrt(beta*theta/(lambda*a)) — exactly
+// Proposition 1's water-filling form. This is the default objective;
+// its arithmetic is kept expression-identical to the pre-interface
+// code so default-path runs stay byte-for-byte reproducible.
+type eq2Objective struct{}
+
+func (eq2Objective) Name() string { return "eq2" }
+
+func (eq2Objective) Utility(beta, thetaBps, rateBps float64) float64 {
+	return beta * (1 - thetaBps/rateBps)
+}
+
+func (eq2Objective) RateForMarginal(beta, thetaBps, lambdaA float64) float64 {
+	return math.Sqrt(beta * thetaBps / lambdaA)
+}
+
+// upfObjective is utility-proportional fairness in the sense of
+// Ghorbanzadeh et al.: a logarithmic utility U(R) = beta*log(1 + R/theta),
+// i.e. proportional fairness on rates normalised by the screen
+// parameter. Where Eq. 2's 1 - theta/R is alpha=2 (potential-delay)
+// fairness — its 1/R^2 marginal collapses fast, equalising rates hard —
+// the log marginal beta/(theta + R) decays only as 1/R, so flows with
+// cheap radio keep earning capacity longer: upf trades some of Eq. 2's
+// egalitarianism for cell throughput. The KKT stationary point is
+// R = beta/(lambda*a) - theta.
+type upfObjective struct{}
+
+func (upfObjective) Name() string { return "upf" }
+
+func (upfObjective) Utility(beta, thetaBps, rateBps float64) float64 {
+	return beta * math.Log1p(rateBps/thetaBps)
+}
+
+func (upfObjective) RateForMarginal(beta, thetaBps, lambdaA float64) float64 {
+	return beta/lambdaA - thetaBps
+}
+
+// DefaultObjective is the paper's Eq. 2 utility, used whenever a
+// Problem or Config names no other objective.
+var DefaultObjective Objective = eq2Objective{}
+
+// UtilityProportionalFairness is the alternative log-utility objective.
+var UtilityProportionalFairness Objective = upfObjective{}
+
+// ObjectiveNames lists the registered objective names, default first.
+func ObjectiveNames() []string { return []string{"eq2", "upf"} }
+
+// ObjectiveByName resolves an objective by registry name. The empty
+// string (and any unknown name) resolves to DefaultObjective with
+// ok=false only for unknown non-empty names, so callers can warn
+// without breaking a long-lived controller.
+func ObjectiveByName(name string) (obj Objective, ok bool) {
+	switch name {
+	case "", "eq2":
+		return DefaultObjective, true
+	case "upf":
+		return UtilityProportionalFairness, true
+	default:
+		return DefaultObjective, false
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/has"
+)
+
+func TestObjectiveByName(t *testing.T) {
+	for _, name := range ObjectiveNames() {
+		obj, ok := ObjectiveByName(name)
+		if !ok {
+			t.Errorf("registered objective %q did not resolve", name)
+		}
+		if obj.Name() != name {
+			t.Errorf("ObjectiveByName(%q).Name() = %q", name, obj.Name())
+		}
+	}
+	if obj, ok := ObjectiveByName(""); !ok || obj != DefaultObjective {
+		t.Errorf("empty name resolved to %v, ok %v; want the default", obj, ok)
+	}
+	if obj, ok := ObjectiveByName("nope"); ok || obj != DefaultObjective {
+		t.Errorf("unknown name resolved to %v, ok %v; want default with ok=false", obj, ok)
+	}
+}
+
+// TestObjectiveShapes pins the analytic contract both solvers rely on:
+// utilities are concave and nondecreasing in rate, and RateForMarginal
+// really inverts the marginal (U'(RateForMarginal(m)) == m).
+func TestObjectiveShapes(t *testing.T) {
+	const beta, theta = 2.0, 200_000.0
+	for _, name := range ObjectiveNames() {
+		obj, _ := ObjectiveByName(name)
+		rates := []float64{100_000, 250_000, 500_000, 1e6, 2e6, 5e6}
+		for i := 1; i < len(rates)-1; i++ {
+			lo, mid, hi := rates[i-1], rates[i], rates[i+1]
+			ulo, umid, uhi := obj.Utility(beta, theta, lo), obj.Utility(beta, theta, mid), obj.Utility(beta, theta, hi)
+			if !(ulo < umid && umid < uhi) {
+				t.Errorf("%s: utility not increasing: U(%.0f)=%v U(%.0f)=%v U(%.0f)=%v",
+					name, lo, ulo, mid, umid, hi, uhi)
+			}
+			// Concavity: marginal gain shrinks as rate grows.
+			if (umid-ulo)/(mid-lo) <= (uhi-umid)/(hi-mid) {
+				t.Errorf("%s: utility not concave around %.0f bps", name, mid)
+			}
+		}
+		// RateForMarginal inverts U' (central finite difference).
+		for _, m := range []float64{1e-7, 1e-6, 5e-6} {
+			r := obj.RateForMarginal(beta, theta, m)
+			if r <= 0 {
+				continue // caller clamps; a non-positive point is legal
+			}
+			const h = 1.0
+			marginal := (obj.Utility(beta, theta, r+h) - obj.Utility(beta, theta, r-h)) / (2 * h)
+			if math.Abs(marginal-m) > m*1e-3 {
+				t.Errorf("%s: U'(RateForMarginal(%v)) = %v, want %v", name, m, marginal, m)
+			}
+		}
+	}
+}
+
+// TestEq2ObjectiveMatchesPaperExpression: the default objective must be
+// expression-identical to the pre-interface inline code — same floats,
+// not merely close — because the scheme goldens replay byte-exactly
+// through it.
+func TestEq2ObjectiveMatchesPaperExpression(t *testing.T) {
+	for _, tc := range []struct{ beta, theta, rate float64 }{
+		{1, 100_000, 250_000},
+		{2.5, 350_000, 1_000_000},
+		{0.5, 50_000, 2_750_000},
+	} {
+		want := tc.beta * (1 - tc.theta/tc.rate)
+		if got := DefaultObjective.Utility(tc.beta, tc.theta, tc.rate); got != want {
+			t.Errorf("eq2 Utility(%v,%v,%v) = %v, want exact %v", tc.beta, tc.theta, tc.rate, got, want)
+		}
+		lambdaA := 2e-6
+		if got, want := DefaultObjective.RateForMarginal(tc.beta, tc.theta, lambdaA),
+			math.Sqrt(tc.beta*tc.theta/lambdaA); got != want {
+			t.Errorf("eq2 RateForMarginal = %v, want exact %v", got, want)
+		}
+	}
+}
+
+// TestUPFRewardsCheapRadio: on a two-flow cell where one flow has much
+// cheaper radio, the objectives must separate the way their fairness
+// indices say: eq2 (alpha=2, 1/R^2 marginal) equalises levels hard,
+// while upf's slower 1/R log marginal keeps paying the efficient flow —
+// a wider level gap. This is the observable difference the alternative
+// objective exists for.
+func TestUPFRewardsCheapRadio(t *testing.T) {
+	build := func(obj Objective) *Problem {
+		p := &Problem{
+			Flows: []VideoFlow{
+				{ID: 0, Ladder: has.SimLadder(), Beta: 1, ThetaBps: 100_000, PrevLevel: -1, RBsPerByte: 0.02},
+				{ID: 1, Ladder: has.SimLadder(), Beta: 1, ThetaBps: 100_000, PrevLevel: -1, RBsPerByte: 0.4},
+			},
+			Objective:  obj,
+			TotalRBs:   30_000,
+			BAISeconds: 1,
+		}
+		return p
+	}
+	spread := func(obj Objective) int {
+		sol, err := NewExactSolver().Solve(build(obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Feasible {
+			t.Fatalf("%s instance infeasible", obj.Name())
+		}
+		d := sol.Levels[0] - sol.Levels[1]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	eq2Spread := spread(DefaultObjective)
+	upfSpread := spread(UtilityProportionalFairness)
+	if upfSpread <= eq2Spread {
+		t.Errorf("upf spread levels by %d, eq2 by %d; want upf > eq2 (throughput-leaning vs egalitarian)",
+			upfSpread, eq2Spread)
+	}
+}

@@ -65,6 +65,11 @@ func (v *VideoFlow) Utility(level int) float64 {
 type Problem struct {
 	// Flows are the video flows in the cell.
 	Flows []VideoFlow
+	// Objective is the per-flow utility model; nil means the paper's
+	// Eq. 2 utility (DefaultObjective). Both solvers read utilities
+	// only through UtilityAt/objective, so swapping the objective
+	// never touches the DP or water-filling mechanics.
+	Objective Objective
 	// NumDataFlows is n, the number of data flows (from the PCRF).
 	NumDataFlows int
 	// Alpha is the data-vs-video priority knob.
@@ -139,11 +144,19 @@ func (p *Problem) DataTerm(r float64) float64 {
 	return float64(p.NumDataFlows) * p.Alpha * math.Log(1-r)
 }
 
+// objective returns the utility model in effect (Eq. 2 by default).
+func (p *Problem) objective() Objective {
+	if p.Objective != nil {
+		return p.Objective
+	}
+	return DefaultObjective
+}
+
 // UtilityAt returns flow u's utility at the given level, including the
 // keep-previous-level stickiness bonus.
 func (p *Problem) UtilityAt(u, level int) float64 {
 	f := &p.Flows[u]
-	util := f.Utility(level)
+	util := p.objective().Utility(f.Beta, f.ThetaBps, f.Ladder.Rate(level))
 	if p.StickinessBonus > 0 && level == f.PrevLevel {
 		util += p.StickinessBonus
 	}

@@ -33,9 +33,9 @@ func NewRelaxedSolver() *RelaxedSolver {
 
 // flowBounds precomputes the per-flow constants of the relaxation.
 type flowBounds struct {
-	lo, hi    float64 // bitrate interval [r_u(1), r_u(MaxLevel)]
-	aRBPerBps float64 // RBs consumed per bit/s of assigned rate
-	betaTheta float64
+	lo, hi      float64 // bitrate interval [r_u(1), r_u(MaxLevel)]
+	aRBPerBps   float64 // RBs consumed per bit/s of assigned rate
+	beta, theta float64
 }
 
 func relaxBounds(p *Problem) []flowBounds {
@@ -46,21 +46,24 @@ func relaxBounds(p *Problem) []flowBounds {
 			lo:        f.Ladder.Rate(0),
 			hi:        f.Ladder.Rate(f.MaxLevel()),
 			aRBPerBps: p.BAISeconds * f.RBsPerByte / 8,
-			betaTheta: f.Beta * f.ThetaBps,
+			beta:      f.Beta,
+			theta:     f.ThetaBps,
 		}
 	}
 	return fb
 }
 
-// ratesAtLambda evaluates the KKT stationary point for a multiplier.
-func ratesAtLambda(fb []flowBounds, lambda float64, out []float64) (usedRBs float64) {
+// ratesAtLambda evaluates the KKT stationary point for a multiplier,
+// asking the objective to invert its marginal (for Eq. 2 that is
+// Proposition 1's closed form sqrt(beta*theta/(lambda*a))).
+func ratesAtLambda(obj Objective, fb []flowBounds, lambda float64, out []float64) (usedRBs float64) {
 	for u := range fb {
 		b := &fb[u]
 		var r float64
 		if lambda <= 0 {
 			r = b.hi
 		} else {
-			r = math.Sqrt(b.betaTheta / (lambda * b.aRBPerBps))
+			r = obj.RateForMarginal(b.beta, b.theta, lambda*b.aRBPerBps)
 			if r < b.lo {
 				r = b.lo
 			} else if r > b.hi {
@@ -77,6 +80,7 @@ func ratesAtLambda(fb []flowBounds, lambda float64, out []float64) (usedRBs floa
 // the continuous rates and the achieved utility. ok is false when even
 // the lower bounds exceed the budget.
 func (s *RelaxedSolver) waterfill(p *Problem, fb []flowBounds, budgetRBs float64, out []float64) (util float64, ok bool) {
+	obj := p.objective()
 	var minRBs, maxRBs float64
 	for u := range fb {
 		minRBs += fb[u].aRBPerBps * fb[u].lo
@@ -86,11 +90,11 @@ func (s *RelaxedSolver) waterfill(p *Problem, fb []flowBounds, budgetRBs float64
 		return 0, false
 	}
 	if maxRBs <= budgetRBs {
-		ratesAtLambda(fb, 0, out)
+		ratesAtLambda(obj, fb, 0, out)
 	} else {
 		// Bisect lambda: used RBs is decreasing in lambda.
 		lo, hi := 0.0, 1.0
-		for ratesAtLambda(fb, hi, out) > budgetRBs {
+		for ratesAtLambda(obj, fb, hi, out) > budgetRBs {
 			hi *= 4
 			if hi > 1e30 {
 				break
@@ -98,16 +102,16 @@ func (s *RelaxedSolver) waterfill(p *Problem, fb []flowBounds, budgetRBs float64
 		}
 		for i := 0; i < s.LambdaIters; i++ {
 			mid := (lo + hi) / 2
-			if ratesAtLambda(fb, mid, out) > budgetRBs {
+			if ratesAtLambda(obj, fb, mid, out) > budgetRBs {
 				lo = mid
 			} else {
 				hi = mid
 			}
 		}
-		ratesAtLambda(fb, hi, out)
+		ratesAtLambda(obj, fb, hi, out)
 	}
 	for u := range p.Flows {
-		util += p.Flows[u].Beta * (1 - p.Flows[u].ThetaBps/out[u])
+		util += obj.Utility(p.Flows[u].Beta, p.Flows[u].ThetaBps, out[u])
 	}
 	return util, true
 }

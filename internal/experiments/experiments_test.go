@@ -16,7 +16,7 @@ func tinyScale() Scale { return Scale{DurationFactor: 0.025, Runs: 1} }
 func TestAllRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "ext-coexist", "ext-abr",
-		"ext-faults"}
+		"ext-faults", "ext-saturation"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -189,7 +189,7 @@ func TestRunManyDeterministicSeeds(t *testing.T) {
 }
 
 func TestExtensionExperimentsSmoke(t *testing.T) {
-	for _, id := range []string{"ext-coexist", "ext-abr", "ext-faults"} {
+	for _, id := range []string{"ext-coexist", "ext-abr", "ext-faults", "ext-saturation"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)
@@ -299,5 +299,38 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestExtSaturationGate is the acceptance gate for the saturation story:
+// pushed to and past twice its floor-carrying capacity by churn, FLARE
+// with admission control and the downgrade ladder must (a) keep every
+// admitted flow free of post-admission rebuffering and (b) deliver
+// strictly higher QoE among its admitted flows than naive FLARE does
+// among its universally admitted ones. RunExtSaturation emits a WARNING
+// note whenever a sweep point at >=2x violates either clause.
+func TestExtSaturationGate(t *testing.T) {
+	rep, err := RunExtSaturation(Scale{DurationFactor: 0.15, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("saturation gate violated: %s", n)
+		}
+	}
+	var share metrics.Series
+	for _, s := range rep.Series {
+		if s.Name == "flare-robust/admitted_share_vs_load" {
+			share = s
+		}
+	}
+	if len(share.Points) != len(extSatLoads) {
+		t.Fatalf("admitted-share series missing or short: %+v", rep.Series)
+	}
+	// Past capacity the controller must actually refuse someone —
+	// otherwise the zero-stall clause is vacuously testing an idle gate.
+	if last := share.Points[len(share.Points)-1]; last.Y >= 1 {
+		t.Errorf("no session was refused at %gx overload (admitted share %v)", last.X, last.Y)
 	}
 }

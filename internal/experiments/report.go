@@ -132,6 +132,7 @@ func All() []Experiment {
 		{ID: "ext-coexist", Title: "Extension — coexistence with conventional players (Section V)", Run: RunExtCoexist},
 		{ID: "ext-abr", Title: "Extension — FLARE vs BBA/MPC and the paper's client baselines", Run: RunExtABR},
 		{ID: "ext-faults", Title: "Extension — graceful degradation under control-plane faults", Run: RunExtFaults},
+		{ID: "ext-saturation", Title: "Extension — saturation: admission control and downgrade ladder under churn", Run: RunExtSaturation},
 	}
 }
 

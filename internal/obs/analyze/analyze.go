@@ -106,6 +106,64 @@ type Chain struct {
 // Recovered reports whether the chain closes with a recovery.
 func (c *Chain) Recovered() bool { return c.RecoverTTI >= 0 }
 
+// AdmissionStory is one flow's journey through admission control:
+// zero or more refusals, an optional stay on the wait queue, and —
+// when capacity allowed — the admit that let it into coordination.
+type AdmissionStory struct {
+	Flow int32
+	Cell int32
+	// Rejects counts refused open attempts before admission.
+	Rejects int
+	// Queued reports whether a refusal parked the session on the wait
+	// queue (rather than turning it away outright).
+	Queued bool
+	// Promoted reports whether the admit came via a queue promotion.
+	Promoted bool
+	// FirstRejectTTI is when the first refusal happened (-1 if the flow
+	// was admitted on its first attempt).
+	FirstRejectTTI int64
+	// AdmitTTI is when the session was admitted; -1 if the trace ends
+	// with the flow still refused.
+	AdmitTTI int64
+}
+
+// Admitted reports whether the story closes with an admission.
+func (s *AdmissionStory) Admitted() bool { return s.AdmitTTI >= 0 }
+
+// WaitTTIs is the refusal-to-admission wait (0 for first-try admits
+// and for flows never admitted).
+func (s *AdmissionStory) WaitTTIs() int64 {
+	if s.FirstRejectTTI < 0 || s.AdmitTTI < 0 {
+		return 0
+	}
+	return s.AdmitTTI - s.FirstRejectTTI
+}
+
+// OverloadEpisode is one contiguous span a cell's downgrade ladder
+// spent engaged: from the first shed step to the restore that returned
+// the depth to zero. Admission activity inside the span is folded in,
+// so one episode reads as the full overload narrative —
+// reject -> queue -> admit -> downgrade -> restore.
+type OverloadEpisode struct {
+	Cell     int32
+	StartTTI int64
+	EndTTI   int64 // -1 when the trace ends still shed
+	// MaxShed is the deepest ladder depth reached.
+	MaxShed int32
+	// PeakShare is the highest video RB share observed at a shed step.
+	PeakShare float64
+	// Downgrades and Restores count ladder steps within the episode.
+	Downgrades int
+	Restores   int
+	// Rejects and Promotes count admission activity within the episode.
+	Rejects  int
+	Promotes int
+}
+
+// Resolved reports whether the episode closes with the ladder fully
+// released.
+func (ep *OverloadEpisode) Resolved() bool { return ep.EndTTI >= 0 }
+
 // Analysis is the reconstructed view of one trace.
 type Analysis struct {
 	Events  int
@@ -113,6 +171,12 @@ type Analysis struct {
 	Flows   []*FlowTimeline // ascending flow ID
 	Chains  []*Chain        // in transition order
 	Stalls  []Stall         // in start order
+
+	// Admissions holds one story per flow that met the admission
+	// controller (ascending flow ID); empty without admission control.
+	Admissions []*AdmissionStory
+	// Episodes holds the cells' overload spans, in start order.
+	Episodes []*OverloadEpisode
 
 	TTIsPerSecond float64
 }
@@ -153,6 +217,17 @@ func Analyze(events []obs.Event, opts Options) *Analysis {
 	openChains := map[int32]*Chain{}
 	openStalls := map[int32]*Stall{}
 	inFallback := map[int32]bool{}
+	admissions := map[int32]*AdmissionStory{}
+	openEpisodes := map[int32]*OverloadEpisode{}
+
+	storyOf := func(e *obs.Event) *AdmissionStory {
+		s, ok := admissions[e.Flow]
+		if !ok {
+			s = &AdmissionStory{Flow: e.Flow, Cell: e.Cell, FirstRejectTTI: -1, AdmitTTI: -1}
+			admissions[e.Flow] = s
+		}
+		return s
+	}
 
 	flowOf := func(e *obs.Event) *FlowTimeline {
 		f, ok := flows[e.Flow]
@@ -182,6 +257,29 @@ func Analyze(events []obs.Event, opts Options) *Analysis {
 			}
 		case obs.KindFault:
 			cellFaults[e.Cell] = append(cellFaults[e.Cell], e)
+		case obs.KindDowngrade:
+			ep, ok := openEpisodes[e.Cell]
+			if !ok {
+				ep = &OverloadEpisode{Cell: e.Cell, StartTTI: e.TTI, EndTTI: -1}
+				openEpisodes[e.Cell] = ep
+				a.Episodes = append(a.Episodes, ep)
+			}
+			ep.Downgrades++
+			if e.Level > ep.MaxShed {
+				ep.MaxShed = e.Level
+			}
+			if e.Value > ep.PeakShare {
+				ep.PeakShare = e.Value
+			}
+		case obs.KindRestore:
+			if ep := openEpisodes[e.Cell]; ep != nil {
+				ep.Restores++
+				if e.Level == 0 {
+					// Ladder fully released: the episode is over.
+					ep.EndTTI = e.TTI
+					delete(openEpisodes, e.Cell)
+				}
+			}
 		}
 		if e.Flow < 0 {
 			continue
@@ -217,6 +315,31 @@ func Analyze(events []obs.Event, opts Options) *Analysis {
 			f.PollsLost++
 		case obs.KindRetry:
 			f.Retries++
+		case obs.KindReject:
+			s := storyOf(&e)
+			s.Rejects++
+			if s.FirstRejectTTI < 0 {
+				s.FirstRejectTTI = e.TTI
+			}
+			if e.Need == 1 {
+				s.Queued = true
+			}
+			if ep := openEpisodes[e.Cell]; ep != nil {
+				ep.Rejects++
+			}
+		case obs.KindQueuePromote:
+			storyOf(&e).Promoted = true
+			if ep := openEpisodes[e.Cell]; ep != nil {
+				ep.Promotes++
+			}
+		case obs.KindAdmit:
+			s := storyOf(&e)
+			if s.AdmitTTI < 0 {
+				s.AdmitTTI = e.TTI
+			}
+			if e.Need == 1 {
+				s.Promoted = true
+			}
 		case obs.KindFallback:
 			f.Fallbacks++
 			inFallback[e.Flow] = true
@@ -294,6 +417,12 @@ func Analyze(events []obs.Event, opts Options) *Analysis {
 		a.Flows = append(a.Flows, f)
 	}
 	sort.Slice(a.Flows, func(i, j int) bool { return a.Flows[i].Flow < a.Flows[j].Flow })
+
+	for _, s := range admissions {
+		a.Admissions = append(a.Admissions, s)
+	}
+	sort.Slice(a.Admissions, func(i, j int) bool { return a.Admissions[i].Flow < a.Admissions[j].Flow })
+	// Episodes were appended in start order; open ones keep EndTTI -1.
 	return a
 }
 

@@ -197,3 +197,132 @@ func TestRecordingDoesNotPerturbResults(t *testing.T) {
 		t.Fatal("recorded run produced no events")
 	}
 }
+
+// TestAnalyzeSyntheticOverload checks the overload-episode and
+// admission-story reconstruction on a hand-built stream: the ladder
+// sheds twice while a session is refused, queued, and finally promoted,
+// then the cell calms down and restores both steps.
+func TestAnalyzeSyntheticOverload(t *testing.T) {
+	ev := []obs.Event{
+		{Kind: obs.KindAdmit, TTI: 500, Cell: 1, Flow: 2},
+		{Kind: obs.KindDowngrade, TTI: 1000, Cell: 1, Flow: -1, Level: 1, Value: 0.97},
+		{Kind: obs.KindReject, TTI: 1500, Cell: 1, Flow: 7, Need: 1},
+		{Kind: obs.KindDowngrade, TTI: 2000, Cell: 1, Flow: -1, Level: 2, Value: 0.99},
+		{Kind: obs.KindReject, TTI: 2500, Cell: 1, Flow: 7, Need: 1},
+		{Kind: obs.KindQueuePromote, TTI: 3000, Cell: 1, Flow: 7, Streak: 0},
+		{Kind: obs.KindAdmit, TTI: 3000, Cell: 1, Flow: 7, Need: 1},
+		{Kind: obs.KindRestore, TTI: 6000, Cell: 1, Flow: -1, Level: 1, Value: 0.80},
+		{Kind: obs.KindRestore, TTI: 7000, Cell: 1, Flow: -1, Level: 0, Value: 0.78},
+	}
+	a := analyze.Analyze(ev, analyze.Options{})
+
+	if len(a.Episodes) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(a.Episodes))
+	}
+	ep := a.Episodes[0]
+	if !ep.Resolved() || ep.StartTTI != 1000 || ep.EndTTI != 7000 {
+		t.Fatalf("episode span = %d..%d (resolved %v)", ep.StartTTI, ep.EndTTI, ep.Resolved())
+	}
+	if ep.MaxShed != 2 || ep.PeakShare != 0.99 || ep.Downgrades != 2 || ep.Restores != 2 {
+		t.Fatalf("episode = %+v", ep)
+	}
+	if ep.Rejects != 2 || ep.Promotes != 1 {
+		t.Fatalf("episode admission activity = %d rejects %d promotes", ep.Rejects, ep.Promotes)
+	}
+
+	if len(a.Admissions) != 2 {
+		t.Fatalf("admission stories = %d, want 2", len(a.Admissions))
+	}
+	direct, waited := a.Admissions[0], a.Admissions[1]
+	if direct.Flow != 2 || !direct.Admitted() || direct.Rejects != 0 || direct.Promoted {
+		t.Fatalf("first-try story = %+v", direct)
+	}
+	if waited.Flow != 7 || !waited.Admitted() || waited.Rejects != 2 || !waited.Queued || !waited.Promoted {
+		t.Fatalf("queued story = %+v", waited)
+	}
+	if waited.WaitTTIs() != 1500 {
+		t.Fatalf("wait = %d TTIs, want 1500", waited.WaitTTIs())
+	}
+
+	var buf bytes.Buffer
+	if err := analyze.WriteReport(&buf, a); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"admission", "1 admitted first try, 1 after waiting",
+		"overload episodes", "shed for 6.0s", "depth max 2",
+		"2 rejects 1 promotions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOverloadEpisodesFromSaturatedRun is the end-to-end acceptance
+// test for the saturation narrative: a recorded churn run past the
+// cell's floor capacity must reconstruct at least one overload episode
+// with admission activity inside it, and refused flows must appear as
+// admission stories.
+func TestOverloadEpisodesFromSaturatedRun(t *testing.T) {
+	mem := obs.NewMemorySink()
+	rec := obs.New(obs.Options{RingSize: -1, Sinks: []obs.Sink{mem}})
+
+	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	cfg.Duration = 90 * time.Second
+	cfg.NumVideo = 0
+	cfg.NumData = 0
+	cfg.Ladder = has.TestbedLadder()
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 2}
+	cfg.Churn = cellsim.ChurnConfig{
+		Enabled:          true,
+		MeanInterarrival: time.Second,
+		MeanDuration:     40 * time.Second,
+	}
+	cfg.Flare.AdmissionControl = true
+	cfg.Flare.DowngradeLadder = true
+	cfg.Obs = rec
+	if _, err := cellsim.Run(cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	a := analyze.Analyze(mem.Events(), analyze.Options{})
+	if len(a.Episodes) == 0 {
+		t.Fatal("saturated run produced no overload episodes")
+	}
+	var withAdmission *analyze.OverloadEpisode
+	for _, ep := range a.Episodes {
+		if ep.Rejects > 0 {
+			withAdmission = ep
+			break
+		}
+	}
+	if withAdmission == nil {
+		t.Fatalf("no episode contains admission activity: %+v", a.Episodes[0])
+	}
+	if len(a.Admissions) == 0 {
+		t.Fatal("no admission stories reconstructed")
+	}
+	var refused bool
+	for _, s := range a.Admissions {
+		if s.Rejects > 0 {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("no flow was ever refused despite 2x overload")
+	}
+
+	var buf bytes.Buffer
+	if err := analyze.WriteReport(&buf, a); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"admission", "overload episodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

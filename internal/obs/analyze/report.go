@@ -51,6 +51,63 @@ func WriteReport(w io.Writer, a *Analysis) error {
 		}
 	}
 
+	if len(a.Admissions) > 0 {
+		bw.printf("\n== admission ==\n")
+		var direct, promoted, refused int
+		for _, s := range a.Admissions {
+			switch {
+			case !s.Admitted():
+				refused++
+			case s.Promoted:
+				promoted++
+			case s.Rejects == 0:
+				direct++
+			default:
+				// Re-tried its way in without a queue promotion.
+				promoted++
+			}
+		}
+		bw.printf("%d flows met the admission controller: %d admitted first try, %d after waiting, %d never admitted\n",
+			len(a.Admissions), direct, promoted, refused)
+		for _, s := range a.Admissions {
+			switch {
+			case s.Admitted() && s.Rejects == 0:
+				continue // the uneventful case: admitted on the spot
+			case !s.Admitted():
+				bw.printf("flow %d: refused %d times from t=%.1fs, never admitted",
+					s.Flow, s.Rejects, a.Seconds(s.FirstRejectTTI))
+			default:
+				bw.printf("flow %d: refused %d times, admitted @t=%.1fs after %.1fs",
+					s.Flow, s.Rejects, a.Seconds(s.AdmitTTI), a.Seconds(s.WaitTTIs()))
+				if s.Promoted {
+					bw.printf(" (queue promotion)")
+				}
+			}
+			if s.Queued {
+				bw.printf("  [queued]")
+			}
+			bw.printf("\n")
+		}
+	}
+
+	if len(a.Episodes) > 0 {
+		bw.printf("\n== overload episodes ==\n")
+		for _, ep := range a.Episodes {
+			bw.printf("cell %d @t=%.1fs: ", ep.Cell, a.Seconds(ep.StartTTI))
+			if ep.Resolved() {
+				bw.printf("shed for %.1fs", a.Seconds(ep.EndTTI-ep.StartTTI))
+			} else {
+				bw.printf("shed (unresolved at trace end)")
+			}
+			bw.printf("  depth max %d (peak share %.3f)  %d downgrades %d restores",
+				ep.MaxShed, ep.PeakShare, ep.Downgrades, ep.Restores)
+			if ep.Rejects > 0 || ep.Promotes > 0 {
+				bw.printf("  admission: %d rejects %d promotions", ep.Rejects, ep.Promotes)
+			}
+			bw.printf("\n")
+		}
+	}
+
 	if len(a.Chains) > 0 {
 		bw.printf("\n== fallback causal chains ==\n")
 		for _, c := range a.Chains {
@@ -116,6 +173,18 @@ func WriteFlowTimeline(w io.Writer, a *Analysis, flowID int32) error {
 			bw.printf(" reason %s (count %d)", reasonText(e.Reason), e.Streak)
 		case obs.KindRetry:
 			bw.printf(" attempt %d", e.Seq)
+		case obs.KindReject:
+			if e.Need == 1 {
+				bw.printf(" (queued)")
+			} else {
+				bw.printf(" (turned away)")
+			}
+		case obs.KindQueuePromote:
+			bw.printf(" %d still waiting", e.Streak)
+		case obs.KindAdmit:
+			if e.Need == 1 {
+				bw.printf(" (from queue)")
+			}
 		}
 		bw.printf("\n")
 	}

@@ -139,3 +139,45 @@ func Reopen(cell, flow int32) Event {
 func ClientFail(cell, flow int32) Event {
 	return Event{Kind: KindClientFail, Cell: cell, Flow: flow, Site: SiteHTTP}
 }
+
+// Admit records a session passing the admission predicate
+// (oneapi.Server); fromQueue marks a promotion rather than a
+// first-contact admission.
+func Admit(cell, flow int32, fromQueue bool) Event {
+	e := Event{Kind: KindAdmit, Cell: cell, Flow: flow}
+	if fromQueue {
+		e.Need = 1
+	}
+	return e
+}
+
+// Reject records a session refused by the admission predicate
+// (oneapi.Server); queued marks it parked on the wait queue rather
+// than turned away outright.
+func Reject(cell, flow int32, queued bool) Event {
+	e := Event{Kind: KindReject, Cell: cell, Flow: flow}
+	if queued {
+		e.Need = 1
+	}
+	return e
+}
+
+// QueuePromote records a queued session being admitted after capacity
+// freed (oneapi.Server); waiting is the queue depth left behind.
+func QueuePromote(cell, flow int32, waiting int32) Event {
+	return Event{Kind: KindQueuePromote, Cell: cell, Flow: flow, Streak: waiting}
+}
+
+// Downgrade records the overload ladder taking one more shed step
+// (core.Controller): shed is the new depth, share the video RB share
+// that triggered it.
+func Downgrade(cell int32, seq int64, shed int32, share float64) Event {
+	return Event{Kind: KindDowngrade, Cell: cell, Flow: -1, Seq: seq, Level: shed, Value: share}
+}
+
+// Restore records the overload ladder giving one shed step back after
+// the hysteresis hold (core.Controller): shed is the remaining depth,
+// share the video RB share at release.
+func Restore(cell int32, seq int64, shed int32, share float64) Event {
+	return Event{Kind: KindRestore, Cell: cell, Flow: -1, Seq: seq, Level: shed, Value: share}
+}

@@ -93,6 +93,25 @@ const (
 	// exhausting retries (oneapi.Client).
 	KindClientFail
 
+	// KindAdmit is a session passing the admission predicate
+	// (oneapi.Server); N = 1 when promoted from the wait queue.
+	KindAdmit
+	// KindReject is a session refused by the admission predicate
+	// (oneapi.Server); N = 1 when parked on the wait queue, 0 when
+	// turned away outright (queue full or disabled).
+	KindReject
+	// KindQueuePromote is a queued session being admitted after
+	// capacity freed (oneapi.Server); Streak = sessions still waiting.
+	KindQueuePromote
+	// KindDowngrade is the overload ladder shaving one more step off
+	// every flow's ceiling (core.Controller): Level = new shed depth,
+	// Value = the video share that triggered it, Seq = BAI sequence.
+	KindDowngrade
+	// KindRestore is the overload ladder giving one step back after the
+	// hysteresis hold (core.Controller): Level = remaining shed depth,
+	// Value = the video share at release, Seq = BAI sequence.
+	KindRestore
+
 	kindCount // sentinel; keep last
 )
 
@@ -119,6 +138,11 @@ var kindNames = [...]string{
 	KindRetry:        "retry",
 	KindReopen:       "reopen",
 	KindClientFail:   "client_fail",
+	KindAdmit:        "admit",
+	KindReject:       "reject",
+	KindQueuePromote: "queue_promote",
+	KindDowngrade:    "downgrade",
+	KindRestore:      "restore",
 }
 
 // String implements fmt.Stringer.

@@ -36,6 +36,11 @@ type Metrics struct {
 	Retries         atomic.Int64
 	Reopens         atomic.Int64
 	ClientFailures  atomic.Int64
+	Admits          atomic.Int64
+	Rejects         atomic.Int64
+	QueuePromotes   atomic.Int64
+	Downgrades      atomic.Int64
+	Restores        atomic.Int64
 	SinkErrors      atomic.Int64
 
 	// SolveLatency aggregates KindBAISolve durations.
@@ -92,6 +97,16 @@ func (m *Metrics) observe(e *Event) {
 		m.Reopens.Add(1)
 	case KindClientFail:
 		m.ClientFailures.Add(1)
+	case KindAdmit:
+		m.Admits.Add(1)
+	case KindReject:
+		m.Rejects.Add(1)
+	case KindQueuePromote:
+		m.QueuePromotes.Add(1)
+	case KindDowngrade:
+		m.Downgrades.Add(1)
+	case KindRestore:
+		m.Restores.Add(1)
 	}
 }
 
@@ -128,6 +143,11 @@ func (m *Metrics) counters() []struct {
 		{"client_retries_total", m.Retries.Load()},
 		{"client_reopens_total", m.Reopens.Load()},
 		{"client_failures_total", m.ClientFailures.Load()},
+		{"admits_total", m.Admits.Load()},
+		{"rejects_total", m.Rejects.Load()},
+		{"queue_promotes_total", m.QueuePromotes.Load()},
+		{"downgrades_total", m.Downgrades.Load()},
+		{"restores_total", m.Restores.Load()},
 		{"sink_errors_total", m.SinkErrors.Load()},
 	}
 }

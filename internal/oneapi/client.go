@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -347,7 +348,7 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*http
 			}
 			continue
 		}
-		if retryableStatus(resp.StatusCode) {
+		if retryableStatus(resp.StatusCode) && !terminalReject(resp) {
 			drainClose(resp.Body)
 			cancel()
 			lastErr = fmt.Errorf("transient HTTP %d from %s", resp.StatusCode, url)
@@ -397,6 +398,25 @@ func (c *Client) backoffLocked(attempt int) time.Duration {
 
 func retryableStatus(status int) bool {
 	return status >= 500 || status == http.StatusRequestTimeout || status == http.StatusTooManyRequests
+}
+
+// terminalReject peeks a 503's error envelope: an admission rejection
+// is a deliberate application answer — retrying inside do() would just
+// hammer a saturated cell through its own backpressure signal — so it
+// must escape the retry loop with the typed envelope intact. The body
+// is restored for the caller's decoder either way.
+func terminalReject(resp *http.Response) bool {
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	_ = resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(raw))
+	if err != nil {
+		return false
+	}
+	var env ErrorResponse
+	return json.Unmarshal(raw, &env) == nil && env.Code == CodeAdmissionReject
 }
 
 // cancelOnClose defers an attempt context's cancellation until the
@@ -468,8 +488,9 @@ func drainClose(rc io.ReadCloser) {
 // matching sentinel, so HTTP-side callers can use errors.Is just like
 // in-process ones.
 type httpError struct {
-	status   int
-	envelope ErrorResponse
+	status     int
+	envelope   ErrorResponse
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string {
@@ -485,5 +506,22 @@ func (e *httpError) Unwrap() error { return errorForCode(e.envelope.Code) }
 func respErr(resp *http.Response) error {
 	var env ErrorResponse
 	_ = json.NewDecoder(resp.Body).Decode(&env)
-	return &httpError{status: resp.StatusCode, envelope: env}
+	e := &httpError{status: resp.StatusCode, envelope: env}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			e.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// RetryAfterHint extracts the server's Retry-After delay from an error
+// returned by this package's HTTP paths (typically an admission
+// rejection), or 0 when the error carries no hint.
+func RetryAfterHint(err error) time.Duration {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
 }

@@ -30,18 +30,27 @@ var (
 	// registered with a *different* ladder; re-opening with identical
 	// parameters is idempotent and succeeds.
 	ErrSessionConflict = errors.New("oneapi: session exists with different parameters")
+
+	// ErrAdmissionRejected refuses a new session the admission predicate
+	// cannot fit: the cell's RB budget cannot hold every admitted flow's
+	// floor level plus the candidate's. The HTTP binding maps it to 503
+	// with a Retry-After hint; the session may have been parked on the
+	// cell's wait queue for later promotion, so clients should retry
+	// the open after the hint (not treat the flow as denied forever).
+	ErrAdmissionRejected = errors.New("oneapi: session rejected by admission control")
 )
 
 // Machine-readable error codes carried in the HTTP binding's
 // ErrorResponse.Code, so clients can react without string matching.
 const (
-	CodeStaleReport    = "stale_report"
-	CodeUnknownSession = "unknown_session"
-	CodeUnknownCell    = "unknown_cell"
-	CodeNoAssignment   = "no_assignment"
-	CodeConflict       = "conflict"
-	CodeBadRequest     = "bad_request"
-	CodeInternal       = "internal"
+	CodeStaleReport     = "stale_report"
+	CodeUnknownSession  = "unknown_session"
+	CodeUnknownCell     = "unknown_cell"
+	CodeNoAssignment    = "no_assignment"
+	CodeConflict        = "conflict"
+	CodeAdmissionReject = "admission_reject"
+	CodeBadRequest      = "bad_request"
+	CodeInternal        = "internal"
 )
 
 // codeFor maps a server error to its wire code.
@@ -57,6 +66,8 @@ func codeFor(err error) string {
 		return CodeNoAssignment
 	case errors.Is(err, ErrSessionConflict):
 		return CodeConflict
+	case errors.Is(err, ErrAdmissionRejected):
+		return CodeAdmissionReject
 	default:
 		return CodeInternal
 	}
@@ -76,6 +87,8 @@ func errorForCode(code string) error {
 		return ErrNoAssignment
 	case CodeConflict:
 		return ErrSessionConflict
+	case CodeAdmissionReject:
+		return ErrAdmissionRejected
 	default:
 		return nil
 	}

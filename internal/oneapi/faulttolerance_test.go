@@ -105,6 +105,124 @@ func TestRunBAIPartialPCEFFailure(t *testing.T) {
 	}
 }
 
+// TestRunBAIFailedDowngradePublished is the regression test for the
+// overload error path: when a PCEF install fails for an assignment
+// *lower* than the flow's current one, the lower assignment must still
+// be published to polls. Keeping the stale high assignment visible is
+// what starves a saturated cell — plugins would keep requesting a rate
+// the optimiser just revoked. The install sequence keeps lagging either
+// way, so the staleness signal survives. A failed *upgrade* keeps the
+// previous (lower) assignment, as before.
+func TestRunBAIFailedDowngradePublished(t *testing.T) {
+	s := serverForTest()
+	if err := s.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	solo := StatsReport{Flows: map[int]core.FlowStats{
+		1: {Bytes: 1_000_000, RBs: 50_000},
+	}}
+	// Crowded report: two newcomers join, and the margined RB budget
+	// cannot hold flow 1 at its solo level alongside them — the
+	// optimiser must assign it a lower one.
+	crowded := StatsReport{Flows: map[int]core.FlowStats{
+		1: {Bytes: 1_000_000, RBs: 25_000},
+		2: {Bytes: 1_000_000, RBs: 25_000},
+		3: {Bytes: 1_000_000, RBs: 25_000},
+	}}
+
+	// BAI 1: flow 1 alone in the cell, healthy PCEF — a high assignment.
+	healthy := PCEFFunc(func(int, float64) error { return nil })
+	if _, err := s.RunBAIReport(0, solo, healthy); err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.AssignmentErr(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flow := range []int{2, 3} {
+		if err := s.OpenSession(0, SessionRequest{FlowID: flow, LadderBps: has.SimLadder()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The solver is deterministic, so a mirror server fed the same
+	// reports through a healthy PCEF reveals the assignment flow 1
+	// *would* have gotten — that is what the broken server must publish.
+	mirror := serverForTest()
+	if err := mirror.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.RunBAIReport(0, solo, healthy); err != nil {
+		t.Fatal(err)
+	}
+	for _, flow := range []int{2, 3} {
+		if err := mirror.OpenSession(0, SessionRequest{FlowID: flow, LadderBps: has.SimLadder()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mirror.RunBAIReport(0, crowded, healthy); err != nil {
+		t.Fatal(err)
+	}
+	want, err := mirror.AssignmentErr(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.RateBps >= high.RateBps {
+		t.Fatalf("test premise broken: crowded rate %.0f not below solo rate %.0f", want.RateBps, high.RateBps)
+	}
+
+	// BAI 2: the cell fills up, flow 1's (now lower) install fails.
+	broken := PCEFFunc(func(flowID int, gbr float64) error {
+		if flowID == 1 {
+			return fmt.Errorf("pcef: bearer modify rejected")
+		}
+		return nil
+	})
+	resp, err := s.RunBAIReport(0, crowded, broken)
+	var ee *EnforceError
+	if !errors.As(err, &ee) {
+		t.Fatalf("BAI with failing PCEF returned %v, want *EnforceError", err)
+	}
+	for _, f := range resp.Failed {
+		if f.FlowID != 1 {
+			t.Fatalf("unexpected enforcement failure %+v", f)
+		}
+	}
+	for _, a := range resp.Assignments {
+		if a.FlowID == 1 {
+			t.Fatalf("failed flow 1 listed as committed: %+v", a)
+		}
+	}
+
+	a1, err := s.AssignmentErr(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.RateBps != want.RateBps {
+		t.Fatalf("failed downgrade not published: polls see %.0f bps, want %.0f (stale high was %.0f)",
+			a1.RateBps, want.RateBps, high.RateBps)
+	}
+	if a1.BAISeq != 1 || a1.CellSeq != 2 || a1.AgeBAIs() != 1 {
+		t.Fatalf("staleness signal lost on published downgrade: %+v age %d", a1, a1.AgeBAIs())
+	}
+
+	// BAI 3: flow 2 leaves, flow 1's assignment rises again — but the
+	// install still fails, so the failed *upgrade* must NOT be published.
+	if _, err := s.RunBAIReport(0, solo, broken); err == nil {
+		t.Fatal("failing PCEF reported success")
+	}
+	a1, err = s.AssignmentErr(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.RateBps != want.RateBps {
+		t.Fatalf("failed upgrade leaked to polls: %.0f bps, want still %.0f", a1.RateBps, want.RateBps)
+	}
+	if a1.BAISeq != 1 || a1.AgeBAIs() != 2 {
+		t.Fatalf("install sequence advanced without an install: %+v", a1)
+	}
+}
+
 // TestRunBAIRejectsStaleReports: sequenced statistics reports must be
 // applied at most once and in order; unsequenced reports (Seq 0) keep
 // the legacy behaviour.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/flare-sim/flare/internal/core"
 )
@@ -39,6 +40,12 @@ func Handler(s *Server) http.Handler {
 		switch {
 		case errors.Is(err, ErrSessionConflict):
 			writeErr(w, http.StatusConflict, err)
+		case errors.Is(err, ErrAdmissionRejected):
+			// Overload refusal, not failure: 503 with a Retry-After of
+			// one BAI — the earliest moment admission can re-evaluate
+			// (a close or a radio-cost shift both surface per BAI).
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s)))
+			writeErr(w, http.StatusServiceUnavailable, err)
 		case err != nil:
 			writeErr(w, http.StatusBadRequest, err)
 		case created:
@@ -125,6 +132,16 @@ func Handler(s *Server) http.Handler {
 	})
 
 	return mux
+}
+
+// retryAfterSeconds is the Retry-After hint for admission rejections:
+// one BAI rounded up to a whole second (the header's granularity).
+func retryAfterSeconds(s *Server) int {
+	secs := int(s.cfg.BAI / time.Second)
+	if s.cfg.BAI%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	return secs
 }
 
 func pathInt(r *http.Request, key string) (int, error) {

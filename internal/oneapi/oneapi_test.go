@@ -3,6 +3,7 @@ package oneapi
 import (
 	"errors"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -265,6 +266,22 @@ func TestHTTPBadRequests(t *testing.T) {
 	drainClose(resp.Body)
 	if resp.StatusCode != 400 {
 		t.Fatalf("status %d for empty stats body", resp.StatusCode)
+	}
+	// Empty ladder must 400, not panic: with admission control on, the
+	// predicate prices the candidate by its floor rung before Register's
+	// validation would catch it.
+	cfg := core.DefaultConfig()
+	cfg.AdmissionControl = true
+	admitting := httptest.NewServer(Handler(NewServer(cfg, nil)))
+	defer admitting.Close()
+	resp, err = admitting.Client().Post(admitting.URL+"/oneapi/v4/cells/0/sessions",
+		"application/json", strings.NewReader(`{"flow_id": 1, "ladder_bps": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for empty-ladder open under admission control", resp.StatusCode)
 	}
 }
 

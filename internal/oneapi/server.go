@@ -36,6 +36,11 @@ type cellState struct {
 	// lastReportSeq is the highest accepted StatsReport.Seq (0 before
 	// the first sequenced report).
 	lastReportSeq int64
+	// queue holds sessions the admission predicate refused, in arrival
+	// order. It is a plain slice FIFO — promotion pops the head, never
+	// iterates a map — so promotion order is deterministic. Bounded by
+	// Config.AdmissionQueue.
+	queue []SessionRequest
 }
 
 // Server is the OneAPI server: one FLARE controller per managed cell
@@ -145,6 +150,11 @@ func (s *Server) OpenSession(cellID int, req SessionRequest) error {
 // idempotently (the HTTP binding maps these to 201 vs 200).
 func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) {
 	ladder := has.Ladder(req.LadderBps)
+	// Validate before the admission predicate, which prices the
+	// candidate by its floor rung and so assumes a non-empty ladder.
+	if err := ladder.Validate(); err != nil {
+		return false, fmt.Errorf("oneapi: open session flow %d: %w", req.FlowID, err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c := s.cell(cellID)
@@ -160,11 +170,97 @@ func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) 
 		}
 		return false, nil
 	}
+	if s.cfg.AdmissionControl && !c.controller.CanAdmit(ladder) {
+		queued := s.enqueueLocked(c, req)
+		s.rec.Emit(obs.Reject(int32(cellID), int32(req.FlowID), queued))
+		return false, fmt.Errorf("oneapi: open session flow %d: %w", req.FlowID, ErrAdmissionRejected)
+	}
 	if err := c.controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
 		return false, fmt.Errorf("oneapi: open session: %w", err)
 	}
+	s.dequeueLocked(c, req.FlowID)
 	s.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
+	if s.cfg.AdmissionControl {
+		s.rec.Emit(obs.Admit(int32(cellID), int32(req.FlowID), false))
+	}
 	return true, nil
+}
+
+// queueCap resolves Config.AdmissionQueue: 0 means the default depth,
+// negative disables queueing.
+func (s *Server) queueCap() int {
+	switch {
+	case s.cfg.AdmissionQueue > 0:
+		return s.cfg.AdmissionQueue
+	case s.cfg.AdmissionQueue < 0:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// enqueueLocked parks a rejected session on the cell's wait queue,
+// reporting whether it is (still) queued. A repeat open for a flow
+// already waiting refreshes its request in place rather than
+// double-queueing it.
+func (s *Server) enqueueLocked(c *cellState, req SessionRequest) bool {
+	for i := range c.queue {
+		if c.queue[i].FlowID == req.FlowID {
+			c.queue[i] = req
+			return true
+		}
+	}
+	if len(c.queue) >= s.queueCap() {
+		return false
+	}
+	c.queue = append(c.queue, req)
+	return true
+}
+
+// dequeueLocked drops a flow from the wait queue (it was admitted by a
+// direct retry, or its session closed before promotion).
+func (s *Server) dequeueLocked(c *cellState, flowID int) {
+	for i := range c.queue {
+		if c.queue[i].FlowID == flowID {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// promoteLocked admits queued sessions head-first while the admission
+// predicate holds. Called whenever capacity may have freed: after a
+// session close and after each BAI (radio costs shift the floor
+// demand). Registration failures drop the entry — the client will
+// retry its open and get a fresh verdict.
+func (s *Server) promoteLocked(cellID int, c *cellState) {
+	if !s.cfg.AdmissionControl {
+		return
+	}
+	for len(c.queue) > 0 {
+		req := c.queue[0]
+		if !c.controller.CanAdmit(has.Ladder(req.LadderBps)) {
+			return
+		}
+		c.queue = c.queue[1:]
+		if err := c.controller.Register(req.FlowID, has.Ladder(req.LadderBps), req.Preferences); err != nil {
+			continue
+		}
+		s.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
+		s.rec.Emit(obs.QueuePromote(int32(cellID), int32(req.FlowID), int32(len(c.queue))))
+		s.rec.Emit(obs.Admit(int32(cellID), int32(req.FlowID), true))
+	}
+}
+
+// QueueDepth returns the number of sessions waiting for admission in a
+// cell (0 for unknown cells).
+func (s *Server) QueueDepth(cellID int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cells[cellID]; ok {
+		return len(c.queue)
+	}
+	return 0
 }
 
 func sameLadder(a, b has.Ladder) bool {
@@ -187,7 +283,9 @@ func (s *Server) CloseSession(cellID, flowID int) {
 		c.controller.Unregister(flowID)
 		delete(c.current, flowID)
 		delete(c.installSeq, flowID)
+		s.dequeueLocked(c, flowID)
 		s.rec.Emit(obs.SessionClose(int32(cellID), int32(flowID)))
+		s.promoteLocked(cellID, c)
 	}
 }
 
@@ -282,9 +380,18 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 			if err := pcef.SetGBR(a.FlowID, a.RateBps); err != nil {
 				// All-installed-or-previous-kept per flow: the flow's
 				// previous assignment and install sequence survive, so
-				// polling plugins see its age grow.
+				// polling plugins see its age grow. Downgrades are the
+				// exception: under overload a failed install must not
+				// leave the flow advertising a higher rate than the
+				// optimiser just chose — the stale high assignment is
+				// what starves the cell — so the lower assignment is
+				// published to polls while installSeq keeps lagging
+				// (the staleness signal stays intact).
 				failed = append(failed, EnforcementFailure{FlowID: a.FlowID, Reason: err.Error()})
 				s.rec.Emit(obs.InstallFail(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
+				if prev, ok := c.current[a.FlowID]; ok && a.RateBps < prev.RateBps {
+					c.current[a.FlowID] = a
+				}
 				continue
 			}
 		}
@@ -293,6 +400,7 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 		committed = append(committed, a)
 		s.rec.Emit(obs.Install(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
 	}
+	s.promoteLocked(cellID, c)
 	resp := StatsResponse{Assignments: committed, BAISeq: c.baiSeq, Failed: failed}
 	if len(failed) > 0 {
 		return resp, &EnforceError{BAISeq: c.baiSeq, Failed: failed}
