@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results bench-quick bench-json bench-check profile trace-demo clean
+.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results bench-quick bench-json bench-check bench-multicell-json bench-multicell-check profile trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,18 @@ bench-json:
 # regresses more than 20% simsec/sec against the committed numbers.
 bench-check:
 	$(GO) run ./cmd/flarebench -check-against BENCH_engine.json
+
+# bench-multicell-json measures the multi-cell scaling curve
+# (BenchmarkMultiCell at 1/4/16/64 cells) and refreshes the committed
+# BENCH_multicell.json.
+bench-multicell-json:
+	$(GO) run ./cmd/flarebench -json-multicell BENCH_multicell.json
+
+# bench-multicell-check is the multi-cell CI perf gate: fail if any
+# point of the scaling curve regresses more than 20% aggregate
+# simsec/sec against the committed numbers.
+bench-multicell-check:
+	$(GO) run ./cmd/flarebench -check-against BENCH_multicell.json
 
 # profile runs the engine benchmark with pprof output (cpu.prof,
 # mem.prof) for `go tool pprof`.

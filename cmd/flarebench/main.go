@@ -6,7 +6,8 @@
 //	flarebench [-scale quick|full] [-factor F] [-runs N] [-only id,...] [-out dir]
 //	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	flarebench -json BENCH_engine.json
-//	flarebench -check-against BENCH_engine.json
+//	flarebench -json-multicell BENCH_multicell.json [-workers N]
+//	flarebench -check-against BENCH_engine.json -check-against BENCH_multicell.json
 //	flarebench -trace engine.jsonl
 //
 // Text tables are printed to stdout; per-figure plot data (CSV) and the
@@ -15,9 +16,14 @@
 // -json measures the canonical engine benchmark (the BenchmarkEngineTick
 // workload from internal/benchmarks) and writes its simsec/sec, ns/op
 // and allocs/op to the given file, preserving any committed baseline
-// block. -check-against measures the same workload and exits nonzero if
-// simsec/sec regressed more than 20% against the file's committed
-// current numbers — the CI perf gate.
+// block; -json-multicell does the same for the multi-cell scaling curve
+// (the BenchmarkMultiCell workload at 1/4/16/64 cells, aggregate
+// simsec/sec per point). Both record GOMAXPROCS, the worker count, and
+// the CPU model so numbers are comparable across machines.
+// -check-against is repeatable (and accepts comma-separated paths): each
+// file's Benchmark field names the workload to measure, and the run
+// exits nonzero if any measurement regressed more than 20% against that
+// file's committed current numbers — the CI perf gates.
 //
 // -trace runs the same canonical engine workload once with telemetry
 // recording enabled, writes its JSONL event stream (readable with
@@ -26,10 +32,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -37,9 +45,11 @@ import (
 	"github.com/flare-sim/flare/internal/benchmarks"
 	"github.com/flare-sim/flare/internal/buildinfo"
 	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/experiments"
 	"github.com/flare-sim/flare/internal/metrics"
 	"github.com/flare-sim/flare/internal/obs"
+	"github.com/flare-sim/flare/internal/oneapi"
 	"github.com/flare-sim/flare/internal/profiling"
 )
 
@@ -47,21 +57,59 @@ func main() {
 	os.Exit(run())
 }
 
-// benchPoint is one measurement of the engine benchmark.
-type benchPoint struct {
-	Label        string  `json:"label,omitempty"`
+// benchEnv captures the execution environment of a measurement so
+// committed bench numbers are interpretable across machines.
+type benchEnv struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers,omitempty"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// scalePoint is one cell count of the multi-cell scaling curve.
+// SimsecPerSec is aggregate: cells x simulated seconds / wall second.
+type scalePoint struct {
+	Cells        int     `json:"cells"`
 	SimsecPerSec float64 `json:"simsec_per_sec"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
 
-// benchFile is the BENCH_engine.json schema: the committed pre-change
-// baseline (never overwritten by -json) and the current measurement.
+// benchPoint is one measurement: the single-cell engine numbers, or
+// (for BenchmarkMultiCell) the scaling curve in Points.
+type benchPoint struct {
+	Label        string       `json:"label,omitempty"`
+	SimsecPerSec float64      `json:"simsec_per_sec,omitempty"`
+	NsPerOp      int64        `json:"ns_per_op,omitempty"`
+	AllocsPerOp  int64        `json:"allocs_per_op,omitempty"`
+	Env          *benchEnv    `json:"env,omitempty"`
+	Points       []scalePoint `json:"points,omitempty"`
+}
+
+// benchFile is the BENCH_engine.json / BENCH_multicell.json schema: the
+// committed pre-change baseline (never overwritten by -json) and the
+// current measurement. The Benchmark field names the workload, which is
+// how -check-against knows what to measure for each file it is given.
 type benchFile struct {
 	Benchmark string      `json:"benchmark"`
 	Metric    string      `json:"metric"`
 	Baseline  *benchPoint `json:"baseline,omitempty"`
 	Current   *benchPoint `json:"current"`
+}
+
+const (
+	engineBenchName    = "BenchmarkEngineTick"
+	multiCellBenchName = "BenchmarkMultiCell"
+)
+
+// measureEnv snapshots the environment; workers is the effective
+// worker-pool width of the measured workload (1 for the single-cell
+// engine benchmark).
+func measureEnv(workers int) *benchEnv {
+	return &benchEnv{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		CPUModel:   benchmarks.CPUModel(),
+	}
 }
 
 // measureEngine runs the canonical engine workload under the testing
@@ -85,7 +133,47 @@ func measureEngine() (benchPoint, error) {
 		SimsecPerSec: benchmarks.EngineSimSeconds / (float64(ns) / 1e9),
 		NsPerOp:      ns,
 		AllocsPerOp:  res.AllocsPerOp(),
+		Env:          measureEnv(1),
 	}, nil
+}
+
+// measureMultiCell runs the multi-cell scaling workload (the
+// BenchmarkMultiCell cell counts) through the inter-cell worker pool
+// and returns the aggregate-simsec/sec curve. workers 0 means
+// GOMAXPROCS, mirroring cellsim.MultiConfig.
+func measureMultiCell(workers int) (benchPoint, error) {
+	effective := workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	pt := benchPoint{Env: measureEnv(effective)}
+	for _, cells := range benchmarks.MultiCellCounts() {
+		cells := cells
+		var failed error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				server := oneapi.NewServer(core.DefaultConfig(), nil)
+				cfgs := benchmarks.MultiCellConfigs(cells, uint64(i*cells+1))
+				if _, err := cellsim.RunMultiConfig(context.Background(),
+					cellsim.MultiConfig{Workers: workers}, server, cfgs...); err != nil {
+					failed = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if failed != nil {
+			return benchPoint{}, failed
+		}
+		ns := res.NsPerOp()
+		pt.Points = append(pt.Points, scalePoint{
+			Cells:        cells,
+			SimsecPerSec: float64(cells) * benchmarks.MultiCellSimSeconds / (float64(ns) / 1e9),
+			NsPerOp:      ns,
+			AllocsPerOp:  res.AllocsPerOp(),
+		})
+	}
+	return pt, nil
 }
 
 func loadBenchFile(path string) (*benchFile, error) {
@@ -100,55 +188,160 @@ func loadBenchFile(path string) (*benchFile, error) {
 	return &bf, nil
 }
 
-// runBench handles -json / -check-against and returns the process exit
-// code.
-func runBench(jsonPath, checkPath string) int {
-	cur, err := measureEngine()
+// writeBenchFile refreshes path with cur as the new current
+// measurement, preserving any committed baseline block.
+func writeBenchFile(path, benchmark, metric string, cur *benchPoint) int {
+	out := benchFile{Benchmark: benchmark, Metric: metric, Current: cur}
+	if prev, err := loadBenchFile(path); err == nil {
+		out.Baseline = prev.Baseline // the committed baseline is never overwritten
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "flarebench: engine benchmark: %v\n", err)
+		fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
 		return 1
 	}
-	fmt.Printf("BenchmarkEngineTick: %.1f simsec/sec, %d ns/op, %d allocs/op\n",
-		cur.SimsecPerSec, cur.NsPerOp, cur.AllocsPerOp)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// checkEngine gates the single-cell measurement against a committed
+// file: >20% simsec/sec regression fails.
+func checkEngine(path string, ref *benchFile, cur benchPoint) int {
+	if ref.Current == nil || ref.Current.SimsecPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "flarebench: %s has no current measurement to check against\n", path)
+		return 1
+	}
+	floor := 0.8 * ref.Current.SimsecPerSec
+	if cur.SimsecPerSec < floor {
+		fmt.Fprintf(os.Stderr,
+			"flarebench: PERF REGRESSION: %.1f simsec/sec is more than 20%% below the committed %.1f (floor %.1f)\n",
+			cur.SimsecPerSec, ref.Current.SimsecPerSec, floor)
+		return 1
+	}
+	fmt.Printf("perf check OK: %.1f simsec/sec vs committed %.1f (floor %.1f)\n",
+		cur.SimsecPerSec, ref.Current.SimsecPerSec, floor)
+	return 0
+}
+
+// checkMultiCell gates every point of the measured scaling curve
+// against the committed curve, matched by cell count.
+func checkMultiCell(path string, ref *benchFile, cur benchPoint) int {
+	if ref.Current == nil || len(ref.Current.Points) == 0 {
+		fmt.Fprintf(os.Stderr, "flarebench: %s has no scaling curve to check against\n", path)
+		return 1
+	}
+	committed := make(map[int]scalePoint, len(ref.Current.Points))
+	for _, p := range ref.Current.Points {
+		committed[p.Cells] = p
+	}
+	code := 0
+	for _, p := range cur.Points {
+		want, ok := committed[p.Cells]
+		if !ok || want.SimsecPerSec <= 0 {
+			continue // cell count not in the committed curve
+		}
+		floor := 0.8 * want.SimsecPerSec
+		if p.SimsecPerSec < floor {
+			fmt.Fprintf(os.Stderr,
+				"flarebench: PERF REGRESSION at %d cells: %.1f aggregate simsec/sec is more than 20%% below the committed %.1f (floor %.1f)\n",
+				p.Cells, p.SimsecPerSec, want.SimsecPerSec, floor)
+			code = 1
+			continue
+		}
+		fmt.Printf("perf check OK at %d cells: %.1f aggregate simsec/sec vs committed %.1f (floor %.1f)\n",
+			p.Cells, p.SimsecPerSec, want.SimsecPerSec, floor)
+	}
+	return code
+}
+
+// runBench handles -json / -json-multicell / -check-against and returns
+// the process exit code. Each -check-against file is measured with the
+// workload its Benchmark field names; measurements are shared across
+// files so passing both gates costs one engine run and one multi-cell
+// sweep.
+func runBench(jsonPath, jsonMultiPath string, checkPaths []string, workers int) int {
+	needEngine := jsonPath != ""
+	needMulti := jsonMultiPath != ""
+
+	type loaded struct {
+		path string
+		file *benchFile
+	}
+	var refs []loaded
+	for _, path := range checkPaths {
+		ref, err := loadBenchFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
+			return 1
+		}
+		switch ref.Benchmark {
+		case engineBenchName:
+			needEngine = true
+		case multiCellBenchName:
+			needMulti = true
+		default:
+			fmt.Fprintf(os.Stderr, "flarebench: %s names unknown benchmark %q\n", path, ref.Benchmark)
+			return 1
+		}
+		refs = append(refs, loaded{path, ref})
+	}
+	if !needEngine && !needMulti {
+		needEngine = true // bare invocation: measure the engine
+	}
+
+	var engineCur, multiCur benchPoint
+	if needEngine {
+		var err error
+		if engineCur, err = measureEngine(); err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: engine benchmark: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: %.1f simsec/sec, %d ns/op, %d allocs/op (GOMAXPROCS=%d)\n",
+			engineBenchName, engineCur.SimsecPerSec, engineCur.NsPerOp,
+			engineCur.AllocsPerOp, engineCur.Env.GOMAXPROCS)
+	}
+	if needMulti {
+		var err error
+		if multiCur, err = measureMultiCell(workers); err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: multi-cell benchmark: %v\n", err)
+			return 1
+		}
+		for _, p := range multiCur.Points {
+			fmt.Printf("%s/cells=%d: %.1f aggregate simsec/sec, %d ns/op, %d allocs/op (workers=%d, GOMAXPROCS=%d)\n",
+				multiCellBenchName, p.Cells, p.SimsecPerSec, p.NsPerOp, p.AllocsPerOp,
+				multiCur.Env.Workers, multiCur.Env.GOMAXPROCS)
+		}
+	}
 
 	if jsonPath != "" {
-		out := benchFile{Benchmark: "BenchmarkEngineTick", Metric: "simsec/sec", Current: &cur}
-		if prev, err := loadBenchFile(jsonPath); err == nil {
-			out.Baseline = prev.Baseline // the committed baseline is never overwritten
+		if code := writeBenchFile(jsonPath, engineBenchName, "simsec/sec", &engineCur); code != 0 {
+			return code
 		}
-		data, err := json.MarshalIndent(&out, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
-			return 1
+	}
+	if jsonMultiPath != "" {
+		if code := writeBenchFile(jsonMultiPath, multiCellBenchName, "aggregate simsec/sec", &multiCur); code != 0 {
+			return code
 		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
-			return 1
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
 	}
 
-	if checkPath != "" {
-		ref, err := loadBenchFile(checkPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "flarebench: %v\n", err)
-			return 1
+	code := 0
+	for _, ref := range refs {
+		switch ref.file.Benchmark {
+		case engineBenchName:
+			if c := checkEngine(ref.path, ref.file, engineCur); c != 0 {
+				code = c
+			}
+		case multiCellBenchName:
+			if c := checkMultiCell(ref.path, ref.file, multiCur); c != 0 {
+				code = c
+			}
 		}
-		if ref.Current == nil || ref.Current.SimsecPerSec <= 0 {
-			fmt.Fprintf(os.Stderr, "flarebench: %s has no current measurement to check against\n", checkPath)
-			return 1
-		}
-		floor := 0.8 * ref.Current.SimsecPerSec
-		if cur.SimsecPerSec < floor {
-			fmt.Fprintf(os.Stderr,
-				"flarebench: PERF REGRESSION: %.1f simsec/sec is more than 20%% below the committed %.1f (floor %.1f)\n",
-				cur.SimsecPerSec, ref.Current.SimsecPerSec, floor)
-			return 1
-		}
-		fmt.Printf("perf check OK: %.1f simsec/sec vs committed %.1f (floor %.1f)\n",
-			cur.SimsecPerSec, ref.Current.SimsecPerSec, floor)
 	}
-	return 0
+	return code
 }
 
 // runTrace executes the canonical engine workload once with the flight
@@ -182,20 +375,32 @@ func runTrace(tracePath string) int {
 
 func run() int {
 	var (
-		scaleName  = flag.String("scale", "quick", `experiment scale: "quick" or "full" (paper durations, 20 runs)`)
-		factor     = flag.Float64("factor", 0, "override duration factor (1 = paper scale)")
-		runs       = flag.Int("runs", 0, "override runs per data point")
-		only       = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		outDir     = flag.String("out", "results", "output directory for tables and CSV series")
-		list       = flag.Bool("list", false, "list experiment IDs and exit")
-		plot       = flag.Bool("plot", false, "render ASCII plots of each experiment's series")
-		jsonPath   = flag.String("json", "", "measure the engine benchmark and write BENCH_engine.json-style output here (skips experiments)")
-		checkPath  = flag.String("check-against", "", "measure the engine benchmark and fail on >20% simsec/sec regression vs this file (skips experiments)")
-		tracePath  = flag.String("trace", "", "run the canonical engine workload once with telemetry recording, write its JSONL trace here, and dump counters (skips experiments)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
-		version    = flag.Bool("version", false, "print version and exit")
+		scaleName     = flag.String("scale", "quick", `experiment scale: "quick" or "full" (paper durations, 20 runs)`)
+		factor        = flag.Float64("factor", 0, "override duration factor (1 = paper scale)")
+		runs          = flag.Int("runs", 0, "override runs per data point")
+		only          = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		outDir        = flag.String("out", "results", "output directory for tables and CSV series")
+		list          = flag.Bool("list", false, "list experiment IDs and exit")
+		plot          = flag.Bool("plot", false, "render ASCII plots of each experiment's series")
+		jsonPath      = flag.String("json", "", "measure the engine benchmark and write BENCH_engine.json-style output here (skips experiments)")
+		jsonMultiPath = flag.String("json-multicell", "", "measure the multi-cell scaling curve and write BENCH_multicell.json-style output here (skips experiments)")
+		workers       = flag.Int("workers", 0, "worker-pool width for the multi-cell measurement (0 = GOMAXPROCS)")
+		tracePath     = flag.String("trace", "", "run the canonical engine workload once with telemetry recording, write its JSONL trace here, and dump counters (skips experiments)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		version       = flag.Bool("version", false, "print version and exit")
 	)
+	var checkPaths []string
+	flag.Func("check-against",
+		"measure the workload a baseline file names and fail on >20% simsec/sec regression; repeatable, and accepts comma-separated paths (skips experiments)",
+		func(v string) error {
+			for _, p := range strings.Split(v, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					checkPaths = append(checkPaths, p)
+				}
+			}
+			return nil
+		})
 	flag.Parse()
 	if *version {
 		buildinfo.Print(os.Stdout, "flarebench")
@@ -214,8 +419,8 @@ func run() int {
 		}
 	}()
 
-	if *jsonPath != "" || *checkPath != "" {
-		return runBench(*jsonPath, *checkPath)
+	if *jsonPath != "" || *jsonMultiPath != "" || len(checkPaths) > 0 {
+		return runBench(*jsonPath, *jsonMultiPath, checkPaths, *workers)
 	}
 	if *tracePath != "" {
 		return runTrace(*tracePath)

@@ -1,0 +1,67 @@
+package benchmarks
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/flare-sim/flare/internal/cellsim"
+)
+
+// MultiCellSimSeconds is the simulated duration of each cell in one
+// MultiCell iteration; aggregate simsec/sec = cells * MultiCellSimSeconds
+// / wall seconds per op.
+const MultiCellSimSeconds = 15
+
+// MultiCellConfig returns one cell of the multi-cell scaling workload: a
+// FLARE cell kept busy by greedy data flows, short enough that the
+// 64-cell point stays benchmark-friendly. Every cell of a run gets a
+// distinct seed so the cells don't march in lockstep.
+func MultiCellConfig(seed uint64) cellsim.Config {
+	cfg := cellsim.DefaultConfig(cellsim.SchemeFLARE)
+	cfg.Duration = MultiCellSimSeconds * time.Second
+	cfg.NumVideo = 8
+	cfg.NumData = 2
+	cfg.SegmentDuration = 2 * time.Second
+	cfg.Flare.BAI = 1 * time.Second
+	cfg.Channel = cellsim.ChannelSpec{Kind: cellsim.ChannelStatic, StaticITbs: 12}
+	cfg.Seed = seed
+	return cfg
+}
+
+// MultiCellConfigs returns the configs for an n-cell run, seeded
+// seedBase, seedBase+1, ...
+func MultiCellConfigs(n int, seedBase uint64) []cellsim.Config {
+	cfgs := make([]cellsim.Config, n)
+	for i := range cfgs {
+		cfgs[i] = MultiCellConfig(seedBase + uint64(i))
+	}
+	return cfgs
+}
+
+// MultiCellCounts is the committed scaling curve: the cell counts
+// measured into BENCH_multicell.json and gated in CI.
+func MultiCellCounts() []int { return []int{1, 4, 16, 64} }
+
+// CPUModel best-effort identifies the host CPU so committed benchmark
+// numbers are interpretable across machines. Linux only (reads
+// /proc/cpuinfo); other platforms fall back to the architecture name.
+func CPUModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOARCH
+}

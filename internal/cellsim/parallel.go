@@ -1,0 +1,159 @@
+package cellsim
+
+import (
+	"github.com/flare-sim/flare/internal/sim"
+	"github.com/flare-sim/flare/internal/transport"
+)
+
+// Intra-cell parallel tick phase (Config.IntraWorkers > 1).
+//
+// The only per-TTI loop cellsim itself owns is the transport tick
+// sweep; the radio phases live in lte (ENodeB.runTTIParallel) behind
+// the same pool. A flow's Tick touches its own state and bearer and
+// draws no RNG, so flows may tick concurrently — the one observable
+// side effect a Tick can have is scheduling a loss-recovery event on
+// the shared queue, and event sequence numbers are the determinism
+// linchpin (same-TTI events fire in scheduling order). So during the
+// parallel phase each flow's env buffers its schedules locally, and
+// the fold below replays every buffer into the real queue in canonical
+// flow order — the exact order the sequential loop would have produced.
+type intraPar struct {
+	workers int
+	pool    *sim.WorkerPool
+	// envs is one flowEnv per transport flow, in canonical (flow-ID)
+	// order, parallel to Sim.allFlows. tickEnvs mirrors Sim.tickList
+	// (rebuilt together in rebuildTickList).
+	envs     []*flowEnv
+	tickEnvs []*flowEnv
+	// buffering is true only between the start of a parallel tick phase
+	// and its fold. It is written by the driving goroutine while no
+	// worker runs (the pool's Do is a barrier), so workers always
+	// observe the value set before their phase started.
+	buffering bool
+
+	naive tickPhase
+	fast  tickPhase
+}
+
+func newIntraPar(workers int) *intraPar {
+	p := &intraPar{workers: workers}
+	p.naive = tickPhase{p: p, fast: false}
+	p.fast = tickPhase{p: p, fast: true}
+	return p
+}
+
+// bufEvent is one Schedule/ScheduleArg call captured during a parallel
+// tick phase, replayed by the fold. argFn non-nil marks the
+// ScheduleArg form.
+type bufEvent struct {
+	delay int64
+	fn    func()
+	argFn func(int64)
+	arg   int64
+}
+
+// flowEnv is a per-flow transport.Env: outside parallel phases it
+// delegates straight to the Sim's env (byte-identical behaviour);
+// during a phase it buffers schedule calls and wake hints locally so
+// concurrent flows never touch the shared event queue.
+type flowEnv struct {
+	s    *Sim
+	flow *transport.Flow
+
+	buf         []bufEvent
+	sawInactive bool
+	wake        bool
+}
+
+func (e *flowEnv) NowTTI() int64 { return e.s.env.NowTTI() }
+
+func (e *flowEnv) Schedule(delay int64, fn func()) {
+	if e.s.par.buffering {
+		e.buf = append(e.buf, bufEvent{delay: delay, fn: fn})
+		return
+	}
+	e.s.env.Schedule(delay, fn)
+}
+
+// ScheduleArg implements transport.ArgScheduler.
+func (e *flowEnv) ScheduleArg(delay int64, fn func(int64), arg int64) {
+	if e.s.par.buffering {
+		e.buf = append(e.buf, bufEvent{delay: delay, argFn: fn, arg: arg})
+		return
+	}
+	e.s.env.ScheduleArg(delay, fn, arg)
+}
+
+// FlowActivated implements transport.Waker.
+func (e *flowEnv) FlowActivated(f *transport.Flow) {
+	if e.s.par.buffering {
+		e.wake = true
+		return
+	}
+	e.s.env.FlowActivated(f)
+}
+
+// tickPhase is the RangeRunner for the transport sweep. fast selects
+// the runFast variant (tick the active list, noting flows observed
+// inactive) over the runNaive variant (tick everything).
+type tickPhase struct {
+	p    *intraPar
+	fast bool
+}
+
+func (t *tickPhase) RunRange(lo, hi int) {
+	if t.fast {
+		for _, e := range t.p.tickEnvs[lo:hi] {
+			if e.flow.Active() {
+				e.flow.Tick()
+			} else {
+				e.sawInactive = true
+			}
+		}
+		return
+	}
+	for _, e := range t.p.envs[lo:hi] {
+		e.flow.Tick()
+	}
+}
+
+// tickAll is the parallel runNaive sweep: every flow, canonical order.
+func (p *intraPar) tickAll(s *Sim) {
+	p.buffering = true
+	p.pool.Do(len(p.envs), &p.naive)
+	p.fold(s, p.envs)
+}
+
+// tickActive is the parallel runFast sweep over the active list.
+func (p *intraPar) tickActive(s *Sim) {
+	p.buffering = true
+	p.pool.Do(len(p.tickEnvs), &p.fast)
+	p.fold(s, p.tickEnvs)
+}
+
+// fold replays the phase's buffered effects in canonical flow order —
+// the bearer-ID-sorted fold that keeps event sequence numbers (and so
+// every downstream byte) identical to the sequential loop.
+func (p *intraPar) fold(s *Sim, envs []*flowEnv) {
+	p.buffering = false
+	for _, e := range envs {
+		if e.sawInactive {
+			e.sawInactive = false
+			s.tickDirty = true
+		}
+		if e.wake {
+			e.wake = false
+			s.tickDirty = true
+		}
+		for i := range e.buf {
+			ev := &e.buf[i]
+			if ev.argFn != nil {
+				s.env.ScheduleArg(ev.delay, ev.argFn, ev.arg)
+			} else {
+				s.env.Schedule(ev.delay, ev.fn)
+			}
+			ev.fn, ev.argFn = nil, nil
+		}
+		e.buf = e.buf[:0]
+	}
+}

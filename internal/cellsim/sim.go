@@ -107,6 +107,10 @@ type Sim struct {
 	tickList  []*transport.Flow
 	tickDirty bool
 
+	// par holds the intra-cell parallel state when Config.IntraWorkers
+	// > 1; nil runs the engine fully sequentially. See parallel.go.
+	par *intraPar
+
 	// series state
 	rateSeries    []*metrics.TimeSeries
 	bufSeries     []*metrics.TimeSeries
@@ -151,6 +155,9 @@ func NewInCell(cfg Config, server *oneapi.Server, cellID int) (*Sim, error) {
 	s.rec.SetNowTTI(s.env.NowTTI)
 	s.tickDirty = true
 	s.env.onFlowWake = func(*transport.Flow) { s.tickDirty = true }
+	if cfg.IntraWorkers > 1 {
+		s.par = newIntraPar(cfg.IntraWorkers)
+	}
 
 	numUEs := cfg.NumVideo + cfg.NumData + cfg.NumLegacy
 	ch, err := s.buildChannel(numUEs)
@@ -306,7 +313,7 @@ func (s *Sim) buildVideo() error {
 			if _, err := s.enb.AddBearer(b); err != nil {
 				return err
 			}
-			flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+			flow, err := s.newFlow(b)
 			if err != nil {
 				return err
 			}
@@ -352,6 +359,24 @@ func (s *Sim) buildVideo() error {
 // groupCount returns the number of flows a group was configured for.
 func groupCount(g *simGroup) int { return g.count }
 
+// newFlow builds a transport flow on the engine's env — or, when the
+// intra-cell pool is enabled, on a per-flow env that can buffer its
+// schedule calls during parallel tick phases (see parallel.go). Must be
+// called in canonical flow order: par.envs mirrors allFlows.
+func (s *Sim) newFlow(b *lte.Bearer) (*transport.Flow, error) {
+	if s.par == nil {
+		return transport.NewFlow(&s.env, b, s.cfg.Transport)
+	}
+	e := &flowEnv{s: s}
+	f, err := transport.NewFlow(e, b, s.cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	e.flow = f
+	s.par.envs = append(s.par.envs, e)
+	return f, nil
+}
+
 func (s *Sim) buildData() error {
 	for i := 0; i < s.cfg.NumData; i++ {
 		id := s.cfg.NumVideo + i
@@ -359,7 +384,7 @@ func (s *Sim) buildData() error {
 		if _, err := s.enb.AddBearer(b); err != nil {
 			return err
 		}
-		flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+		flow, err := s.newFlow(b)
 		if err != nil {
 			return err
 		}
@@ -388,7 +413,7 @@ func (s *Sim) buildLegacy() error {
 		if _, err := s.enb.AddBearer(b); err != nil {
 			return err
 		}
-		flow, err := transport.NewFlow(&s.env, b, s.cfg.Transport)
+		flow, err := s.newFlow(b)
 		if err != nil {
 			return err
 		}
@@ -518,6 +543,19 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 		s.lastDataBytes = make([]int64, len(s.dataFlows))
 	}
 
+	if s.par != nil {
+		// The pool lives only for the run: workers idle between phases,
+		// and a Sim is single-shot in practice, but tearing down here
+		// keeps repeated Runs and abandoned sims goroutine-clean.
+		s.par.pool = sim.NewWorkerPool(s.par.workers)
+		s.enb.SetWorkerPool(s.par.pool)
+		defer func() {
+			s.enb.SetWorkerPool(nil)
+			s.par.pool.Close()
+			s.par.pool = nil
+		}()
+	}
+
 	var err error
 	if s.cfg.DisableFastForward || !s.enb.CanFastForward() {
 		err = s.runNaive(ctx, durTTIs, sampleTTIs)
@@ -565,12 +603,21 @@ func (s *Sim) runHooks(tti, sampleTTIs int64) error {
 //flare:hotpath
 func (s *Sim) runNaive(ctx context.Context, durTTIs, sampleTTIs int64) error {
 	for tti := int64(0); tti < durTTIs; tti++ {
-		if tti&0x3ff == 0 && ctx.Err() != nil {
+		// Poll at every 1024th TTI except the first: a run always makes
+		// its first ~1 s of simulated progress before it can observe
+		// cancellation, so which cells of a multi-cell run reach an
+		// early failure of their own (vs. a sibling's cancel) is a
+		// deterministic fact, not a goroutine race. See runMany.
+		if tti&0x3ff == 0 && tti != 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
 		s.env.events.RunDue(tti)
-		for _, f := range s.allFlows {
-			f.Tick()
+		if s.par != nil && s.par.pool != nil {
+			s.par.tickAll(s)
+		} else {
+			for _, f := range s.allFlows {
+				f.Tick()
+			}
 		}
 		s.enb.RunTTI(tti)
 		if err := s.runHooks(tti, sampleTTIs); err != nil {
@@ -597,18 +644,25 @@ func (s *Sim) runNaive(ctx context.Context, durTTIs, sampleTTIs int64) error {
 //flare:hotpath
 func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
 	for tti := int64(0); tti < durTTIs; {
-		if tti&0x3ff == 0 && ctx.Err() != nil {
+		// Same cancellation-poll points as runNaive (multiples of 1024,
+		// never TTI 0) so both loops observe a cancel at the same TTI —
+		// see the runNaive comment for why TTI 0 is excluded.
+		if tti&0x3ff == 0 && tti != 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
 		s.env.events.RunDue(tti)
 		if s.tickDirty {
 			s.rebuildTickList()
 		}
-		for _, f := range s.tickList {
-			if f.Active() {
-				f.Tick()
-			} else {
-				s.tickDirty = true
+		if s.par != nil && s.par.pool != nil {
+			s.par.tickActive(s)
+		} else {
+			for _, f := range s.tickList {
+				if f.Active() {
+					f.Tick()
+				} else {
+					s.tickDirty = true
+				}
 			}
 		}
 		s.enb.RunTTI(tti)
@@ -630,12 +684,19 @@ func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
 	return nil
 }
 
-// rebuildTickList recomputes the active-flow subset in canonical order.
+// rebuildTickList recomputes the active-flow subset in canonical order
+// (and, under the intra-cell pool, the matching per-flow env subset).
 func (s *Sim) rebuildTickList() {
 	s.tickList = s.tickList[:0]
-	for _, f := range s.allFlows {
+	if s.par != nil {
+		s.par.tickEnvs = s.par.tickEnvs[:0]
+	}
+	for i, f := range s.allFlows {
 		if f.Active() {
 			s.tickList = append(s.tickList, f)
+			if s.par != nil {
+				s.par.tickEnvs = append(s.par.tickEnvs, s.par.envs[i])
+			}
 		}
 	}
 	s.tickDirty = false

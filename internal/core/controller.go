@@ -185,6 +185,13 @@ type Controller struct {
 	rec    *obs.Recorder // nil = telemetry disabled
 	cellID int32
 	baiSeq int64
+
+	// Per-BAI scratch reused across RunBAI calls (the solvers never
+	// retain the Problem, and a Controller's BAIs are serialised by its
+	// caller). The returned Assignment slice is still freshly allocated
+	// — it escapes to the caller.
+	scratchIDs   []int
+	scratchFlows []VideoFlow
 }
 
 // NewController builds a controller. Invalid config fields fall back to
@@ -346,12 +353,13 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 	if numDataFlows < 0 {
 		return nil, fmt.Errorf("core: negative data flow count %d", numDataFlows)
 	}
-	ids := make([]int, 0, len(c.flows))
+	ids := c.scratchIDs[:0]
 	//flare:allow key-collection loop: the keys are sorted on the next line, so iteration order cannot reach state or output
 	for id := range c.flows {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	c.scratchIDs = ids
 	if len(ids) == 0 {
 		return nil, nil
 	}
@@ -373,8 +381,11 @@ func (c *Controller) RunBAI(stats map[int]FlowStats, numDataFlows int) ([]Assign
 		f.rbsPerByte += w * (sample - f.rbsPerByte)
 	}
 
+	if cap(c.scratchFlows) < len(ids) {
+		c.scratchFlows = make([]VideoFlow, len(ids))
+	}
 	prob := Problem{
-		Flows:           make([]VideoFlow, len(ids)),
+		Flows:           c.scratchFlows[:len(ids)],
 		Objective:       c.obj,
 		NumDataFlows:    numDataFlows,
 		Alpha:           c.cfg.Alpha,

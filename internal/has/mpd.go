@@ -66,12 +66,27 @@ func (m *MPD) Ladder() Ladder {
 	return l
 }
 
+// Rate returns the bitrate of the representation at the given index
+// (clamped to the available range, like Ladder.Rate) without
+// materialising a Ladder. It panics when the MPD has no
+// representations, mirroring Ladder.Clamp.
+func (m *MPD) Rate(quality int) float64 {
+	n := len(m.Representations)
+	if n == 0 {
+		panic("has: Rate on MPD with no representations")
+	}
+	if quality < 0 {
+		quality = 0
+	} else if quality >= n {
+		quality = n - 1
+	}
+	return m.Representations[quality].BandwidthBps
+}
+
 // SegmentBytes returns the size in bytes of one segment at the given
 // representation index (clamped).
 func (m *MPD) SegmentBytes(quality int) int64 {
-	l := m.Ladder()
-	rate := l.Rate(quality)
-	return int64(rate * m.SegmentDuration.Seconds() / 8)
+	return int64(m.Rate(quality) * m.SegmentDuration.Seconds() / 8)
 }
 
 // SegmentBytesAt returns the size of segment idx at the given

@@ -99,10 +99,14 @@ func (c PlayerConfig) validate() error {
 // sequentially over one TCP flow, maintains the playout buffer, detects
 // stalls, and records QoE statistics. Single-goroutine, event-driven.
 type Player struct {
-	cfg     PlayerConfig
-	env     transport.Env
-	flow    *transport.Flow
-	mpd     *MPD
+	cfg  PlayerConfig
+	env  transport.Env
+	flow *transport.Flow
+	mpd  *MPD
+	// ladder is mpd's bitrate ladder, extracted once at construction:
+	// state snapshots and per-segment accounting read it every decision,
+	// and MPD.Ladder() allocates per call.
+	ladder  Ladder
 	adapter Adapter
 
 	// OnSegment, if set, is invoked after each completed segment.
@@ -135,6 +139,14 @@ type Player struct {
 
 	records   []SegmentRecord
 	qualities []int
+
+	// requestNextFn and sendFn are the pre-bound scheduling callbacks
+	// (see NewPlayer). argSched is the env's payload-carrying scheduler
+	// when it offers one — the allocation-free path for the per-segment
+	// request-latency timer.
+	requestNextFn func()
+	sendFn        func(int64)
+	argSched      transport.ArgScheduler
 }
 
 // NewPlayer builds a player over the given flow. The flow's OnDelivered
@@ -143,7 +155,8 @@ func NewPlayer(env transport.Env, flow *transport.Flow, mpd *MPD, adapter Adapte
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if err := mpd.Ladder().Validate(); err != nil {
+	ladder := mpd.Ladder()
+	if err := ladder.Validate(); err != nil {
 		return nil, err
 	}
 	if adapter == nil {
@@ -154,10 +167,17 @@ func NewPlayer(env transport.Env, flow *transport.Flow, mpd *MPD, adapter Adapte
 		env:         env,
 		flow:        flow,
 		mpd:         mpd,
+		ladder:      ladder,
 		adapter:     adapter,
 		lastQuality: -1,
 		startupTTI:  -1,
 	}
+	// Bind the rescheduling callbacks once: a method value allocates at
+	// every use site, and the buffer-cap pacing loop schedules
+	// requestNext continuously while a stream is buffer-limited.
+	p.requestNextFn = p.requestNext
+	p.sendFn = func(bytes int64) { p.flow.Send(bytes) }
+	p.argSched, _ = env.(transport.ArgScheduler)
 	flow.OnDelivered = p.onBytes
 	return p, nil
 }
@@ -187,7 +207,7 @@ func (p *Player) State() State {
 		BufferSeconds:      p.buffer,
 		LastQuality:        p.lastQuality,
 		SegmentsDownloaded: len(p.records),
-		Ladder:             p.mpd.Ladder(),
+		Ladder:             p.ladder,
 		Playing:            p.playing,
 	}
 }
@@ -229,7 +249,7 @@ func (p *Player) Qualities() []int { return p.qualities }
 
 // SelectedRates returns the bitrate of each completed segment in bits/s.
 func (p *Player) SelectedRates() []float64 {
-	l := p.mpd.Ladder()
+	l := p.ladder
 	out := make([]float64, len(p.qualities))
 	for i, q := range p.qualities {
 		out[i] = l.Rate(q)
@@ -327,24 +347,28 @@ func (p *Player) requestNext() {
 		if !p.playing {
 			wait = 100 // re-check while paused; drain only happens in playback
 		}
-		p.env.Schedule(wait, p.requestNext)
+		p.env.Schedule(wait, p.requestNextFn)
 		return
 	}
 	// Optional adapter pacing (FESTIVE's randomized scheduling).
 	if pacer, ok := p.adapter.(RequestPacer); ok {
 		if d := pacer.RequestDelay(p.stateLocked(now)); d > 0 {
-			p.env.Schedule(d, p.requestNext)
+			p.env.Schedule(d, p.requestNextFn)
 			return
 		}
 	}
 
-	q := p.mpd.Ladder().Clamp(p.adapter.NextQuality(p.stateLocked(now)))
+	q := p.ladder.Clamp(p.adapter.NextQuality(p.stateLocked(now)))
 	p.segQuality = q
 	p.segBytes = p.mpd.SegmentBytesAt(p.nextSeg, q)
 	p.segRecv = 0
 	p.segStartTTI = now
 	p.downloading = true
 	if p.cfg.RequestLatencyTTIs > 0 {
+		if p.argSched != nil {
+			p.argSched.ScheduleArg(p.cfg.RequestLatencyTTIs, p.sendFn, p.segBytes)
+			return
+		}
 		bytes := p.segBytes
 		p.env.Schedule(p.cfg.RequestLatencyTTIs, func() { p.flow.Send(bytes) })
 	} else {
@@ -359,7 +383,7 @@ func (p *Player) stateLocked(now int64) State {
 		BufferSeconds:      p.buffer,
 		LastQuality:        p.lastQuality,
 		SegmentsDownloaded: len(p.records),
-		Ladder:             p.mpd.Ladder(),
+		Ladder:             p.ladder,
 		Playing:            p.playing,
 	}
 }
@@ -383,7 +407,7 @@ func (p *Player) onBytes(n int64) {
 	rec := SegmentRecord{
 		Index:         p.nextSeg,
 		Quality:       p.segQuality,
-		RateBps:       p.mpd.Ladder().Rate(p.segQuality),
+		RateBps:       p.ladder.Rate(p.segQuality),
 		Bytes:         p.segBytes,
 		StartTTI:      p.segStartTTI,
 		EndTTI:        now,

@@ -132,9 +132,13 @@ func (b *Bearer) CollectWindow() WindowStats {
 // TotalStats returns cumulative bytes/RBs since the bearer was created.
 func (b *Bearer) TotalStats() WindowStats { return b.total }
 
-// serve drains up to capBytes from the queue, records the RB cost, and
-// fires OnDeliver. It returns the bytes actually served.
-func (b *Bearer) serve(capBytes int64, rbs int) int64 {
+// drain removes up to capBytes from the queue and records the RB cost,
+// without firing the delivery callback. It is the parallel-safe half of
+// serve: it touches only this bearer's state, so disjoint bearers may
+// drain concurrently; the caller then fires OnDeliver per bearer in
+// bearer-ID order (see ENodeB.runTTIParallel), which is exactly the
+// order serve interleaves them in the sequential loop.
+func (b *Bearer) drain(capBytes int64, rbs int) int64 {
 	served := capBytes
 	if served > b.queue {
 		served = b.queue
@@ -146,9 +150,16 @@ func (b *Bearer) serve(capBytes int64, rbs int) int64 {
 	b.total.RBs += int64(rbs)
 	if served > 0 {
 		b.everServed = true
-		if b.OnDeliver != nil {
-			b.OnDeliver(served)
-		}
+	}
+	return served
+}
+
+// serve drains up to capBytes from the queue, records the RB cost, and
+// fires OnDeliver. It returns the bytes actually served.
+func (b *Bearer) serve(capBytes int64, rbs int) int64 {
+	served := b.drain(capBytes, rbs)
+	if served > 0 && b.OnDeliver != nil {
+		b.OnDeliver(served)
 	}
 	return served
 }

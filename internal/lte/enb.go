@@ -1,6 +1,10 @@
 package lte
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/flare-sim/flare/internal/sim"
+)
 
 // ENodeB is the cell: it owns the bearers, drives the channel, and runs
 // the scheduler once per TTI. It is single-goroutine by design — the
@@ -23,6 +27,12 @@ type ENodeB struct {
 	// entry is re-zeroed as it is consumed by the tick loop, so the
 	// slice never needs a bulk memclear.
 	served []float64
+
+	// pool and par, when set (SetWorkerPool), split RunTTI's per-bearer
+	// phases across a worker pool with bearer-ID-ordered folds; nil
+	// keeps the sequential path. See parallel.go.
+	pool *sim.WorkerPool
+	par  *enbParallel
 }
 
 // NewENodeB creates a cell with the given channel and scheduler.
@@ -106,8 +116,13 @@ type TTIResult struct {
 
 // RunTTI advances the channel, schedules the TTI, drains the bearer
 // queues, and updates per-bearer accounting. It must be called exactly
-// once per TTI in increasing TTI order.
+// once per TTI in increasing TTI order. With a worker pool attached
+// (SetWorkerPool) the per-bearer phases run concurrently with
+// bearer-ID-ordered folds; results are byte-identical either way.
 func (e *ENodeB) RunTTI(tti int64) TTIResult {
+	if e.pool != nil {
+		return e.runTTIParallel(tti)
+	}
 	e.channel.Update(tti)
 
 	// Build the schedulable set: bearers with backlog. Idle bearers'

@@ -1,0 +1,169 @@
+package lte
+
+import "github.com/flare-sim/flare/internal/sim"
+
+// Intra-cell parallelism: RunTTI's per-bearer work split across a
+// worker pool with every observable reduction folded in bearer-ID
+// order, so a parallel TTI is byte-identical to a sequential one.
+//
+// The TTI decomposes into phases with different sharing structure:
+//
+//	channel update   — parallel per UE when the channel implements
+//	                   RangeUpdater (pure function of the TTI per UE);
+//	                   sequential otherwise (the mobility random walk
+//	                   consumes a shared RNG stream in UE order).
+//	active-set build — volatile FlowState refresh is per-bearer
+//	                   independent (parallel, via a per-bearer mask);
+//	                   the compaction into the scheduler's active slice
+//	                   is a sequential scan in bearer order, so the
+//	                   scheduler sees exactly the sequential slice.
+//	Allocate         — inherently sequential: every scheduler here is a
+//	                   sticky argmax whose pick at RBG k depends on the
+//	                   grants of RBGs 0..k-1.
+//	drain            — Bearer.drain touches only its own bearer
+//	                   (parallel); the delivery callbacks (transport
+//	                   ACKs → player → driver, which may draw RNG) fire
+//	                   in the sequential fold below, in bearer-ID order
+//	                   — the same order serve interleaves them in the
+//	                   sequential loop.
+//	decay            — Bearer.tick is pure per-bearer accounting
+//	                   (parallel).
+type enbParallel struct {
+	chanPhase  enbChanPhase
+	buildPhase enbBuildPhase
+	drainPhase enbDrainPhase
+	decayPhase enbDecayPhase
+	activeMask []bool
+}
+
+// SetWorkerPool attaches (or with nil detaches) a worker pool to the
+// cell. With a pool of two or more workers RunTTI splits its
+// per-bearer phases across the pool; results are byte-identical to the
+// sequential path. The pool must not be shared with another ENodeB
+// that runs concurrently.
+func (e *ENodeB) SetWorkerPool(p *sim.WorkerPool) {
+	if p == nil || p.Workers() == 1 {
+		e.pool = nil
+		e.par = nil
+		return
+	}
+	e.pool = p
+	e.par = &enbParallel{
+		chanPhase:  enbChanPhase{e: e},
+		buildPhase: enbBuildPhase{e: e},
+		drainPhase: enbDrainPhase{e: e},
+		decayPhase: enbDecayPhase{e: e},
+	}
+	if ru, ok := e.channel.(RangeUpdater); ok {
+		e.par.chanPhase.ru = ru
+	}
+}
+
+// enbChanPhase fans the channel update out over UE ranges.
+type enbChanPhase struct {
+	e   *ENodeB
+	ru  RangeUpdater
+	tti int64
+}
+
+func (p *enbChanPhase) RunRange(lo, hi int) { p.ru.UpdateRange(p.tti, lo, hi) }
+
+// enbBuildPhase refreshes the volatile FlowState fields of backlogged
+// bearers and marks them in activeMask. Writes are per-bearer disjoint;
+// the sequential compaction scan in runTTIParallel turns the mask into
+// the scheduler's active slice in bearer order.
+type enbBuildPhase struct{ e *ENodeB }
+
+func (p *enbBuildPhase) RunRange(lo, hi int) {
+	e := p.e
+	for i := lo; i < hi; i++ {
+		b := e.bearers[i]
+		if b.queue <= 0 {
+			e.par.activeMask[i] = false
+			continue
+		}
+		f := &e.flowStates[i]
+		f.ITbs = e.channel.ITbs(b.UE)
+		f.BitsPerRB = BitsPerRB(f.ITbs)
+		f.remaining = b.queue
+		f.granted = 0
+		e.par.activeMask[i] = true
+	}
+}
+
+// enbDrainPhase drains granted bearers without firing callbacks; the
+// served byte counts land in FlowState.served for the sequential fold.
+type enbDrainPhase struct{ e *ENodeB }
+
+func (p *enbDrainPhase) RunRange(lo, hi int) {
+	for _, f := range p.e.active[lo:hi] {
+		if f.granted == 0 {
+			f.served = 0
+			continue
+		}
+		capBytes := int64(TBSBytes(f.ITbs, f.granted))
+		f.served = f.Bearer.drain(capBytes, f.granted)
+	}
+}
+
+// enbDecayPhase runs the per-TTI throughput/credit decay — pure
+// per-bearer math, with each served entry re-zeroed as it is consumed
+// exactly like the sequential loop.
+type enbDecayPhase struct{ e *ENodeB }
+
+func (p *enbDecayPhase) RunRange(lo, hi int) {
+	e := p.e
+	for i := lo; i < hi; i++ {
+		e.bearers[i].tick(e.served[i])
+		e.served[i] = 0
+	}
+}
+
+// runTTIParallel is RunTTI with the per-bearer phases split across the
+// attached pool. Byte-identical to the sequential path: every
+// cross-bearer reduction (active-set compaction, served/RB sums,
+// delivery callbacks) happens below, in bearer-ID order.
+func (e *ENodeB) runTTIParallel(tti int64) TTIResult {
+	if e.par.chanPhase.ru != nil {
+		e.par.chanPhase.tti = tti
+		e.pool.Do(e.channel.NumUEs(), &e.par.chanPhase)
+	} else {
+		e.channel.Update(tti)
+	}
+
+	if len(e.par.activeMask) != len(e.bearers) {
+		e.par.activeMask = make([]bool, len(e.bearers))
+	}
+	e.pool.Do(len(e.bearers), &e.par.buildPhase)
+	e.active = e.active[:0]
+	for i, on := range e.par.activeMask {
+		if on {
+			e.active = append(e.active, &e.flowStates[i])
+		}
+	}
+
+	var res TTIResult
+	if len(e.active) > 0 {
+		e.sched.Allocate(tti, e.active, e.rbgSizes)
+		e.pool.Do(len(e.active), &e.par.drainPhase)
+		// Delivery fold: bearer-ID order (active is built in bearer
+		// order), so ACK scheduling and any driver RNG draws happen in
+		// exactly the sequential sequence.
+		for _, f := range e.active {
+			if f.granted == 0 {
+				continue
+			}
+			res.ServedBytes += f.served
+			res.UsedRBs += f.granted
+			e.served[f.idx] = float64(f.served * 8)
+			if f.served > 0 {
+				if cb := f.Bearer.OnDeliver; cb != nil {
+					cb(f.served)
+				}
+			}
+		}
+	}
+
+	e.pool.Do(len(e.bearers), &e.par.decayPhase)
+	return res
+}

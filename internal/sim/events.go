@@ -49,9 +49,19 @@ type EventQueue struct {
 	fifo     []*Event
 	fifoHead int
 	free     []*Event
-	count    int
-	nextSeq  int64
+	// slab is the arena new events are carved from when the free list is
+	// empty: one bulk allocation per eventSlabSize events instead of one
+	// per event. Handle-bearing events (Schedule) are never recycled —
+	// without the slab each of them is its own allocation, and the
+	// poolable warm-up path allocates one Event at a time too.
+	slab    []Event
+	count   int
+	nextSeq int64
 }
+
+// eventSlabSize is the arena granularity: large enough to amortise the
+// allocation, small enough that an idle queue doesn't pin much memory.
+const eventSlabSize = 256
 
 // Len returns the number of pending events.
 func (q *EventQueue) Len() int { return q.count }
@@ -64,7 +74,11 @@ func (q *EventQueue) newEvent(atTTI int64) *Event {
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
 	} else {
-		ev = &Event{}
+		if len(q.slab) == 0 {
+			q.slab = make([]Event, eventSlabSize)
+		}
+		ev = &q.slab[0]
+		q.slab = q.slab[1:]
 	}
 	*ev = Event{AtTTI: atTTI, seq: q.nextSeq, index: indexDone}
 	q.nextSeq++

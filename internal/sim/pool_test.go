@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// sumRunner adds its range's indices into per-index slots (disjoint
+// writes) and counts invocations.
+type sumRunner struct {
+	out   []int64
+	calls atomic.Int64
+}
+
+func (r *sumRunner) RunRange(lo, hi int) {
+	r.calls.Add(1)
+	for i := lo; i < hi; i++ {
+		r.out[i] = int64(i * i)
+	}
+}
+
+func TestWorkerPoolCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			p := NewWorkerPool(workers)
+			r := &sumRunner{out: make([]int64, n)}
+			p.Do(n, r)
+			for i := 0; i < n; i++ {
+				if r.out[i] != int64(i*i) {
+					t.Fatalf("workers=%d n=%d: index %d not covered", workers, n, i)
+				}
+			}
+			want := int64(workers)
+			if n < workers {
+				want = int64(n)
+			}
+			if workers == 1 && n > 0 {
+				want = 1
+			}
+			if n > 0 && r.calls.Load() != want {
+				t.Fatalf("workers=%d n=%d: %d chunks, want %d", workers, n, r.calls.Load(), want)
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestWorkerPoolClampsWorkers(t *testing.T) {
+	for _, w := range []int{-3, 0, 1} {
+		p := NewWorkerPool(w)
+		if p.Workers() != 1 {
+			t.Fatalf("NewWorkerPool(%d).Workers() = %d, want 1", w, p.Workers())
+		}
+		// Inline pool: Do must work and Close must be a no-op.
+		r := &sumRunner{out: make([]int64, 10)}
+		p.Do(10, r)
+		if r.calls.Load() != 1 {
+			t.Fatalf("inline pool split the range: %d calls", r.calls.Load())
+		}
+		p.Close()
+	}
+}
+
+func TestWorkerPoolReuse(t *testing.T) {
+	p := NewWorkerPool(4)
+	defer p.Close()
+	for iter := 0; iter < 50; iter++ {
+		r := &sumRunner{out: make([]int64, 129)}
+		p.Do(129, r)
+		for i := range r.out {
+			if r.out[i] != int64(i*i) {
+				t.Fatalf("iter %d: index %d not covered", iter, i)
+			}
+		}
+	}
+}
