@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results bench-quick bench-json bench-check bench-multicell-json bench-multicell-check profile trace-demo clean
+.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results bench-quick bench-json bench-check bench-multicell-json bench-multicell-check bench-oneapi-json bench-oneapi-check profile trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,17 @@ bench-multicell-json:
 # simsec/sec against the committed numbers.
 bench-multicell-check:
 	$(GO) run ./cmd/flarebench -check-against BENCH_multicell.json
+
+# bench-oneapi-json measures the control-plane load workload (the
+# loadgen driver against an in-process sharded OneAPI server,
+# best-of-three) and refreshes the committed BENCH_oneapi.json.
+bench-oneapi-json:
+	$(GO) run ./cmd/flarebench -json-oneapi BENCH_oneapi.json
+
+# bench-oneapi-check is the control-plane CI perf gate: fail if BAI
+# rounds/sec regresses more than 20% against the committed numbers.
+bench-oneapi-check:
+	$(GO) run ./cmd/flarebench -check-against BENCH_oneapi.json
 
 # profile runs the engine benchmark with pprof output (cpu.prof,
 # mem.prof) for `go tool pprof`.

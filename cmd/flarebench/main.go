@@ -7,6 +7,7 @@
 //	           [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //	flarebench -json BENCH_engine.json
 //	flarebench -json-multicell BENCH_multicell.json [-workers N]
+//	flarebench -json-oneapi BENCH_oneapi.json [-shards N]
 //	flarebench -check-against BENCH_engine.json -check-against BENCH_multicell.json
 //	flarebench -trace engine.jsonl
 //
@@ -18,8 +19,11 @@
 // and allocs/op to the given file, preserving any committed baseline
 // block; -json-multicell does the same for the multi-cell scaling curve
 // (the BenchmarkMultiCell workload at 1/4/16/64 cells, aggregate
-// simsec/sec per point). Both record GOMAXPROCS, the worker count, and
-// the CPU model so numbers are comparable across machines.
+// simsec/sec per point); -json-oneapi measures the control-plane load
+// workload (BenchmarkOneAPILoad: the internal/loadgen driver against an
+// in-process sharded OneAPI server, BAI rounds/sec plus latency
+// percentiles and sessions/sec). All record GOMAXPROCS, worker/shard
+// counts, and the CPU model so numbers are comparable across machines.
 // -check-against is repeatable (and accepts comma-separated paths): each
 // file's Benchmark field names the workload to measure, and the run
 // exits nonzero if any measurement regressed more than 20% against that
@@ -36,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -47,6 +52,7 @@ import (
 	"github.com/flare-sim/flare/internal/cellsim"
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/experiments"
+	"github.com/flare-sim/flare/internal/loadgen"
 	"github.com/flare-sim/flare/internal/metrics"
 	"github.com/flare-sim/flare/internal/obs"
 	"github.com/flare-sim/flare/internal/oneapi"
@@ -62,6 +68,7 @@ func main() {
 type benchEnv struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Workers    int    `json:"workers,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
 	CPUModel   string `json:"cpu_model,omitempty"`
 }
 
@@ -74,8 +81,9 @@ type scalePoint struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 }
 
-// benchPoint is one measurement: the single-cell engine numbers, or
-// (for BenchmarkMultiCell) the scaling curve in Points.
+// benchPoint is one measurement: the single-cell engine numbers, the
+// scaling curve in Points (BenchmarkMultiCell), or the control-plane
+// load numbers (BenchmarkOneAPILoad).
 type benchPoint struct {
 	Label        string       `json:"label,omitempty"`
 	SimsecPerSec float64      `json:"simsec_per_sec,omitempty"`
@@ -83,6 +91,15 @@ type benchPoint struct {
 	AllocsPerOp  int64        `json:"allocs_per_op,omitempty"`
 	Env          *benchEnv    `json:"env,omitempty"`
 	Points       []scalePoint `json:"points,omitempty"`
+
+	// BenchmarkOneAPILoad fields: BAI rounds/sec is the gated metric;
+	// the rest contextualise it.
+	RoundsPerSec   float64 `json:"rounds_per_sec,omitempty"`
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	Sessions       int     `json:"sessions,omitempty"`
+	P50Seconds     float64 `json:"p50_seconds,omitempty"`
+	P95Seconds     float64 `json:"p95_seconds,omitempty"`
+	P99Seconds     float64 `json:"p99_seconds,omitempty"`
 }
 
 // benchFile is the BENCH_engine.json / BENCH_multicell.json schema: the
@@ -99,6 +116,7 @@ type benchFile struct {
 const (
 	engineBenchName    = "BenchmarkEngineTick"
 	multiCellBenchName = "BenchmarkMultiCell"
+	oneAPIBenchName    = "BenchmarkOneAPILoad"
 )
 
 // measureEnv snapshots the environment; workers is the effective
@@ -174,6 +192,60 @@ func measureMultiCell(workers int) (benchPoint, error) {
 		})
 	}
 	return pt, nil
+}
+
+// measureOneAPI runs the canonical control-plane load workload: the
+// loadgen driver against an in-process HTTP OneAPI server sharded
+// shards ways (0 = the oneapi default). The gated metric is BAI
+// rounds/sec; sessions/sec and the round-trip percentiles ride along.
+// The workload is HTTP round-trips over a loopback socket, so
+// wall-clock noise on a shared CI core is large; the measurement is
+// best-of-three by rounds/sec, matching the file's committed
+// best-of-three.
+func measureOneAPI(shards int) (benchPoint, error) {
+	var best benchPoint
+	for i := 0; i < 3; i++ {
+		pt, err := measureOneAPIOnce(shards)
+		if err != nil {
+			return benchPoint{}, err
+		}
+		if pt.RoundsPerSec > best.RoundsPerSec {
+			best = pt
+		}
+	}
+	return best, nil
+}
+
+func measureOneAPIOnce(shards int) (benchPoint, error) {
+	var server *oneapi.Server
+	if shards > 0 {
+		server = oneapi.NewServerSharded(benchmarks.OneAPIServerConfig(), nil, shards)
+	} else {
+		server = oneapi.NewServer(benchmarks.OneAPIServerConfig(), nil)
+	}
+	defer server.Close()
+	srv := httptest.NewServer(oneapi.Handler(server))
+	defer srv.Close()
+
+	res, err := loadgen.Run(benchmarks.OneAPILoadConfig(srv.URL), nil)
+	if err != nil {
+		return benchPoint{}, err
+	}
+	if res.OpenErrors > 0 || res.RoundErrors > 0 || res.PollErrors > 0 {
+		return benchPoint{}, fmt.Errorf("load run had errors: %d open, %d round, %d poll",
+			res.OpenErrors, res.RoundErrors, res.PollErrors)
+	}
+	env := measureEnv(0)
+	env.Shards = server.Shards()
+	return benchPoint{
+		Env:            env,
+		RoundsPerSec:   res.RoundsPerSec,
+		SessionsPerSec: res.SessionsPerSec,
+		Sessions:       res.Sessions,
+		P50Seconds:     res.P50Seconds,
+		P95Seconds:     res.P95Seconds,
+		P99Seconds:     res.P99Seconds,
+	}, nil
 }
 
 func loadBenchFile(path string) (*benchFile, error) {
@@ -258,14 +330,34 @@ func checkMultiCell(path string, ref *benchFile, cur benchPoint) int {
 	return code
 }
 
-// runBench handles -json / -json-multicell / -check-against and returns
-// the process exit code. Each -check-against file is measured with the
-// workload its Benchmark field names; measurements are shared across
-// files so passing both gates costs one engine run and one multi-cell
-// sweep.
-func runBench(jsonPath, jsonMultiPath string, checkPaths []string, workers int) int {
+// checkOneAPI gates the control-plane load measurement: >20% BAI
+// rounds/sec regression fails.
+func checkOneAPI(path string, ref *benchFile, cur benchPoint) int {
+	if ref.Current == nil || ref.Current.RoundsPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "flarebench: %s has no current measurement to check against\n", path)
+		return 1
+	}
+	floor := 0.8 * ref.Current.RoundsPerSec
+	if cur.RoundsPerSec < floor {
+		fmt.Fprintf(os.Stderr,
+			"flarebench: PERF REGRESSION: %.1f BAI rounds/sec is more than 20%% below the committed %.1f (floor %.1f)\n",
+			cur.RoundsPerSec, ref.Current.RoundsPerSec, floor)
+		return 1
+	}
+	fmt.Printf("perf check OK: %.1f BAI rounds/sec vs committed %.1f (floor %.1f)\n",
+		cur.RoundsPerSec, ref.Current.RoundsPerSec, floor)
+	return 0
+}
+
+// runBench handles -json / -json-multicell / -json-oneapi /
+// -check-against and returns the process exit code. Each -check-against
+// file is measured with the workload its Benchmark field names;
+// measurements are shared across files so passing every gate costs one
+// run per workload.
+func runBench(jsonPath, jsonMultiPath, jsonOneAPIPath string, checkPaths []string, workers, shards int) int {
 	needEngine := jsonPath != ""
 	needMulti := jsonMultiPath != ""
+	needOneAPI := jsonOneAPIPath != ""
 
 	type loaded struct {
 		path string
@@ -283,17 +375,19 @@ func runBench(jsonPath, jsonMultiPath string, checkPaths []string, workers int) 
 			needEngine = true
 		case multiCellBenchName:
 			needMulti = true
+		case oneAPIBenchName:
+			needOneAPI = true
 		default:
 			fmt.Fprintf(os.Stderr, "flarebench: %s names unknown benchmark %q\n", path, ref.Benchmark)
 			return 1
 		}
 		refs = append(refs, loaded{path, ref})
 	}
-	if !needEngine && !needMulti {
+	if !needEngine && !needMulti && !needOneAPI {
 		needEngine = true // bare invocation: measure the engine
 	}
 
-	var engineCur, multiCur benchPoint
+	var engineCur, multiCur, oneAPICur benchPoint
 	if needEngine {
 		var err error
 		if engineCur, err = measureEngine(); err != nil {
@@ -317,6 +411,18 @@ func runBench(jsonPath, jsonMultiPath string, checkPaths []string, workers int) 
 		}
 	}
 
+	if needOneAPI {
+		var err error
+		if oneAPICur, err = measureOneAPI(shards); err != nil {
+			fmt.Fprintf(os.Stderr, "flarebench: oneapi load benchmark: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: %.1f BAI rounds/sec, %.0f sessions/sec, %d sessions, p50 %.1fms p95 %.1fms p99 %.1fms (shards=%d, GOMAXPROCS=%d)\n",
+			oneAPIBenchName, oneAPICur.RoundsPerSec, oneAPICur.SessionsPerSec, oneAPICur.Sessions,
+			oneAPICur.P50Seconds*1e3, oneAPICur.P95Seconds*1e3, oneAPICur.P99Seconds*1e3,
+			oneAPICur.Env.Shards, oneAPICur.Env.GOMAXPROCS)
+	}
+
 	if jsonPath != "" {
 		if code := writeBenchFile(jsonPath, engineBenchName, "simsec/sec", &engineCur); code != 0 {
 			return code
@@ -324,6 +430,11 @@ func runBench(jsonPath, jsonMultiPath string, checkPaths []string, workers int) 
 	}
 	if jsonMultiPath != "" {
 		if code := writeBenchFile(jsonMultiPath, multiCellBenchName, "aggregate simsec/sec", &multiCur); code != 0 {
+			return code
+		}
+	}
+	if jsonOneAPIPath != "" {
+		if code := writeBenchFile(jsonOneAPIPath, oneAPIBenchName, "bai rounds/sec", &oneAPICur); code != 0 {
 			return code
 		}
 	}
@@ -337,6 +448,10 @@ func runBench(jsonPath, jsonMultiPath string, checkPaths []string, workers int) 
 			}
 		case multiCellBenchName:
 			if c := checkMultiCell(ref.path, ref.file, multiCur); c != 0 {
+				code = c
+			}
+		case oneAPIBenchName:
+			if c := checkOneAPI(ref.path, ref.file, oneAPICur); c != 0 {
 				code = c
 			}
 		}
@@ -384,7 +499,9 @@ func run() int {
 		plot          = flag.Bool("plot", false, "render ASCII plots of each experiment's series")
 		jsonPath      = flag.String("json", "", "measure the engine benchmark and write BENCH_engine.json-style output here (skips experiments)")
 		jsonMultiPath = flag.String("json-multicell", "", "measure the multi-cell scaling curve and write BENCH_multicell.json-style output here (skips experiments)")
+		jsonOneAPI    = flag.String("json-oneapi", "", "measure the control-plane load workload and write BENCH_oneapi.json-style output here (skips experiments)")
 		workers       = flag.Int("workers", 0, "worker-pool width for the multi-cell measurement (0 = GOMAXPROCS)")
+		shards        = flag.Int("shards", 0, "shard count of the OneAPI server under load measurement (0 = oneapi default)")
 		tracePath     = flag.String("trace", "", "run the canonical engine workload once with telemetry recording, write its JSONL trace here, and dump counters (skips experiments)")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile    = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -419,8 +536,8 @@ func run() int {
 		}
 	}()
 
-	if *jsonPath != "" || *jsonMultiPath != "" || len(checkPaths) > 0 {
-		return runBench(*jsonPath, *jsonMultiPath, checkPaths, *workers)
+	if *jsonPath != "" || *jsonMultiPath != "" || *jsonOneAPI != "" || len(checkPaths) > 0 {
+		return runBench(*jsonPath, *jsonMultiPath, *jsonOneAPI, checkPaths, *workers, *shards)
 	}
 	if *tracePath != "" {
 		return runTrace(*tracePath)

@@ -72,6 +72,7 @@ func run() int {
 		admission = flag.Bool("admission", false, "refuse session opens that would break the floor-bitrate budget (503 + Retry-After)")
 		admQueue  = flag.Int("admission-queue", 0, "bounded wait queue for refused opens (0 = refuse immediately)")
 		downgrade = flag.Bool("downgrade", false, "shed ladder ceilings under sustained overload instead of stalling flows")
+		shards    = flag.Int("shards", 0, "control-plane shard count (0 = default; results are identical at any count, only contention changes)")
 		ring      = flag.Int("ring", 0, "flight-recorder ring size in events (0 = default 4096, negative = disabled)")
 		version   = flag.Bool("version", false, "print version and exit")
 
@@ -125,17 +126,28 @@ func run() int {
 		return 2
 	}
 
-	handler, _ := buildHandler(cfg, faultCfg, *ring)
+	handler, _, server := buildHandler(cfg, faultCfg, *ring, *shards)
+	defer server.Close()
 	if faultCfg.Enabled() {
 		fmt.Printf("oneapiserver: fault injection ON (drop=%.2f fail=%.2f delay=%.2f blackouts=%d)\n",
 			*faultDrop, *faultFail, *faultDelay, len(faultCfg.Blackouts))
 	}
 
-	fmt.Printf("oneapiserver: listening on %s (alpha=%.2f delta=%d bai=%v relax=%v)\n",
-		*addr, *alpha, *delta, *bai, *relax)
+	fmt.Printf("oneapiserver: listening on %s (alpha=%.2f delta=%d bai=%v relax=%v shards=%d)\n",
+		*addr, *alpha, *delta, *bai, *relax, server.Shards())
 	srv := &http.Server{Addr: *addr, Handler: handler}
-	err := graceful.Serve(srv, shutdownGrace, func(format string, args ...any) {
+	logf := func(format string, args ...any) {
 		fmt.Printf("oneapiserver: "+format+"\n", args...)
+	}
+	err := graceful.ServeDrain(srv, shutdownGrace, logf, func(grace time.Duration) {
+		// Refuse new sessions and BAI rounds, then wait for rounds
+		// already executing — none is dropped mid-install. The HTTP
+		// drain that follows shares the grace budget, so the BAI wait
+		// takes at most half of it.
+		server.BeginDrain()
+		if left := server.DrainWait(grace / 2); left > 0 {
+			logf("drain deadline passed with %d BAI round(s) still in flight", left)
+		}
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oneapiserver: %v\n", err)
@@ -147,10 +159,17 @@ func run() int {
 // buildHandler assembles the full HTTP surface: the OneAPI handler
 // (wrapped in the fault middleware when configured) plus the /metrics
 // and /debug/flare observability endpoints, which bypass fault
-// injection. It returns the mux and the server's flight recorder.
-func buildHandler(cfg core.Config, faultCfg faults.Config, ringSize int) (http.Handler, *obs.Recorder) {
+// injection. It returns the mux, the server's flight recorder, and the
+// server itself (for the shutdown drain). shards <= 0 uses the oneapi
+// default.
+func buildHandler(cfg core.Config, faultCfg faults.Config, ringSize, shards int) (http.Handler, *obs.Recorder, *oneapi.Server) {
 	rec := obs.New(obs.Options{RingSize: ringSize})
-	server := oneapi.NewServer(cfg, nil)
+	var server *oneapi.Server
+	if shards > 0 {
+		server = oneapi.NewServerSharded(cfg, nil, shards)
+	} else {
+		server = oneapi.NewServer(cfg, nil)
+	}
 	server.SetRecorder(rec)
 
 	api := http.Handler(oneapi.Handler(server))
@@ -162,7 +181,7 @@ func buildHandler(cfg core.Config, faultCfg faults.Config, ringSize int) (http.H
 	mux.Handle("/", api)
 	mux.Handle("/metrics", obs.MetricsHandler(rec.Metrics()))
 	mux.Handle("/debug/flare", obs.DebugHandler(rec))
-	return mux, rec
+	return mux, rec, server
 }
 
 // parseWindows parses comma-separated "from-to" blackout windows.

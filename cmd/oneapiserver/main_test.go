@@ -21,7 +21,8 @@ import (
 func TestMetricsEndpoint(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Delta = 1
-	handler, rec := buildHandler(cfg, faults.Config{}, 0)
+	handler, rec, server := buildHandler(cfg, faults.Config{}, 0, 0)
+	defer server.Close()
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
 
@@ -81,7 +82,8 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestMetricsReachableDuringBlackout(t *testing.T) {
 	cfg := core.DefaultConfig()
 	fc := faults.Config{Seed: 1, Blackouts: []faults.Window{{From: 0, To: 1 << 40}}}
-	handler, _ := buildHandler(cfg, fc, 0)
+	handler, _, server := buildHandler(cfg, fc, 0, 0)
+	defer server.Close()
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
 

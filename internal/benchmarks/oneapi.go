@@ -1,0 +1,41 @@
+package benchmarks
+
+import (
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/loadgen"
+)
+
+// The canonical control-plane load workload behind BenchmarkOneAPILoad
+// (flarebench -json-oneapi and the BENCH_oneapi.json CI gate): a modest
+// city slice — 16 cells × 16 sessions, 30 unpaced BAI rounds with light
+// churn — sized so the gate costs seconds on the CI container. The
+// 10,000-session acceptance run is the same driver scaled up
+// (flareload -cells 100 -sessions 100); its numbers go in the README
+// table, not the gate.
+const (
+	OneAPICells           = 16
+	OneAPISessionsPerCell = 16
+	OneAPIRounds          = 30
+	OneAPIChurnEvery      = 10
+)
+
+// OneAPIServerConfig is the controller configuration of the server
+// under test: defaults with Delta=1 so every round can move
+// assignments (the enforcement path stays busy).
+func OneAPIServerConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Delta = 1
+	return cfg
+}
+
+// OneAPILoadConfig returns the canonical load-driver configuration
+// aimed at baseURL.
+func OneAPILoadConfig(baseURL string) loadgen.Config {
+	return loadgen.Config{
+		BaseURL:         baseURL,
+		Cells:           OneAPICells,
+		SessionsPerCell: OneAPISessionsPerCell,
+		Rounds:          OneAPIRounds,
+		ChurnEvery:      OneAPIChurnEvery,
+	}
+}

@@ -236,6 +236,14 @@ type Config struct {
 	// faster sequential; multi-cell runs should prefer RunMulti's
 	// inter-cell pool first.
 	IntraWorkers int
+
+	// ControlShards sets the shard count of the OneAPI control server a
+	// FLARE cell creates for itself (0 = the oneapi default; ignored
+	// when the run supplies a shared server via NewInCell). Like
+	// IntraWorkers it is purely a contention knob: results are
+	// byte-identical for every value, which the shards=1 ≡ shards=N
+	// lockstep tests pin across all six schemes.
+	ControlShards int
 }
 
 // DefaultConfig returns a baseline configuration for the given scheme:
@@ -271,6 +279,9 @@ func (c *Config) Validate() error {
 	}
 	if c.IntraWorkers < 0 {
 		return fmt.Errorf("cellsim: IntraWorkers must be >= 0, got %d", c.IntraWorkers)
+	}
+	if c.ControlShards < 0 {
+		return fmt.Errorf("cellsim: ControlShards must be >= 0, got %d", c.ControlShards)
 	}
 	numVideo := c.NumVideo
 	if len(c.VideoGroups) > 0 {

@@ -111,7 +111,11 @@ var (
 func newFlareDriver(cfg Config) (Controller, error) {
 	d := &flareDriver{cfg: cfg, server: cfg.OneAPI, cellID: cfg.CellID, rec: cfg.Obs}
 	if d.server == nil {
-		d.server = oneapi.NewServer(cfg.Flare, nil)
+		if cfg.ControlShards > 0 {
+			d.server = oneapi.NewServerSharded(cfg.Flare, nil, cfg.ControlShards)
+		} else {
+			d.server = oneapi.NewServer(cfg.Flare, nil)
+		}
 	}
 	if cfg.Obs != nil {
 		// Never clobber a shared server's recorder with nil.

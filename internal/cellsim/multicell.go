@@ -85,7 +85,8 @@ func RunMultiConfig(ctx context.Context, mc MultiConfig, server *oneapi.Server, 
 	sims := make([]*Sim, len(cells))
 	var buildErrs []error
 	// Cells may run concurrently, so nothing mutable may be shared
-	// between them. The oneapi.Server is mutex-protected by design; a
+	// between them. The oneapi.Server is sharded by cell (per-cell
+	// locks behind a lock-free index), so concurrent cells are safe; a
 	// telemetry recorder is not shareable because each cell rebinds its
 	// clock into the recorder (SetNowTTI) — reject that here instead of
 	// letting the race detector find it mid-run.

@@ -25,6 +25,17 @@ const DefaultGrace = 5 * time.Second
 // the drain begins. http.ErrServerClosed is folded into a nil return;
 // any other listen or shutdown error is returned.
 func Serve(srv *http.Server, grace time.Duration, logf func(format string, args ...any)) error {
+	return ServeDrain(srv, grace, logf, nil)
+}
+
+// ServeDrain is Serve with an application-level drain hook: after the
+// first signal, before the HTTP listener shuts down, drain (optional)
+// is invoked with the grace budget. Servers use it to refuse new work
+// and wait for in-flight application operations — e.g. the OneAPI
+// server stops accepting BAI rounds and waits per shard for running
+// rounds to finish, so none is dropped mid-install. The hook shares
+// the grace budget with the HTTP drain, so it must return within it.
+func ServeDrain(srv *http.Server, grace time.Duration, logf func(format string, args ...any), drain func(grace time.Duration)) error {
 	if grace <= 0 {
 		grace = DefaultGrace
 	}
@@ -44,6 +55,9 @@ func Serve(srv *http.Server, grace time.Duration, logf func(format string, args 
 		stop() // second signal falls through to the default handler
 		if logf != nil {
 			logf("shutting down: draining in-flight requests (up to %v)", grace)
+		}
+		if drain != nil {
+			drain(grace)
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()

@@ -124,6 +124,18 @@ var LayerRules = []LayerRule{
 		Except: []string{internalPrefix + "cellsim/driver"},
 		Reason: "drivers touch the engine only through the narrow driver.Engine view (PR 2); importing the engine package would collapse the seam",
 	},
+	{
+		Scope:  internalPrefix + "oneapi",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "oneapi", internalPrefix + "core", internalPrefix + "has", internalPrefix + "obs", internalPrefix + "sim"},
+		Reason: "the control plane serves simulations and live clients alike: the controller, ladders, telemetry, and the worker pool — never the engine (cellsim reaching in would make the server simulation-shaped)",
+	},
+	{
+		Scope:  internalPrefix + "loadgen",
+		Forbid: []string{ModulePath},
+		Except: []string{internalPrefix + "loadgen", internalPrefix + "oneapi", internalPrefix + "core", internalPrefix + "has", internalPrefix + "obs"},
+		Reason: "the load driver speaks to the control plane over its wire client only; importing cellsim would entangle load generation with the engine",
+	},
 }
 
 // pathMatches reports whether path is pattern or inside its subtree.

@@ -16,7 +16,16 @@ func TestLayerRulesTable(t *testing.T) {
 		{ModulePath + "/internal/faults", ModulePath + "/internal/obs", true},
 		{ModulePath + "/internal/obs", ModulePath + "/internal/sim", true},
 		{ModulePath + "/internal/cellsim/driver", ModulePath + "/internal/cellsim", true},
+		{ModulePath + "/internal/oneapi", ModulePath + "/internal/cellsim", true},
+		{ModulePath + "/internal/oneapi", ModulePath + "/internal/cellsim/driver", true},
+		{ModulePath + "/internal/oneapi", ModulePath + "/internal/loadgen", true},
+		{ModulePath + "/internal/loadgen", ModulePath + "/internal/cellsim", true},
+		{ModulePath + "/internal/loadgen", ModulePath + "/internal/sim", true},
 		{ModulePath + "/internal/core", ModulePath + "/internal/obs", false},
+		{ModulePath + "/internal/oneapi", ModulePath + "/internal/sim", false},
+		{ModulePath + "/internal/oneapi", ModulePath + "/internal/obs", false},
+		{ModulePath + "/internal/loadgen", ModulePath + "/internal/oneapi", false},
+		{ModulePath + "/internal/loadgen", ModulePath + "/internal/obs", false},
 		{ModulePath + "/internal/cellsim/driver", ModulePath + "/internal/cellsim/driver/sub", false},
 		{ModulePath + "/internal/lte", ModulePath + "/internal/sim", false},
 		{ModulePath + "/internal/has", ModulePath + "/internal/transport", false},

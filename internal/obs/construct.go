@@ -181,3 +181,9 @@ func Downgrade(cell int32, seq int64, shed int32, share float64) Event {
 func Restore(cell int32, seq int64, shed int32, share float64) Event {
 	return Event{Kind: KindRestore, Cell: cell, Flow: -1, Seq: seq, Level: shed, Value: share}
 }
+
+// Handover records a live session moving from one cell to another as a
+// shard-to-shard state transfer (oneapi.Server).
+func Handover(fromCell, toCell, flow int32) Event {
+	return Event{Kind: KindHandover, Cell: fromCell, Flow: flow, To: int64(toCell)}
+}

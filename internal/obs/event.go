@@ -112,6 +112,11 @@ const (
 	// Value = the video share at release, Seq = BAI sequence.
 	KindRestore
 
+	// KindHandover is a live session moving between cells as one
+	// shard-to-shard state transfer (oneapi.Server): Cell = source
+	// cell, To = destination cell, Flow = the session that moved.
+	KindHandover
+
 	kindCount // sentinel; keep last
 )
 
@@ -143,6 +148,7 @@ var kindNames = [...]string{
 	KindQueuePromote: "queue_promote",
 	KindDowngrade:    "downgrade",
 	KindRestore:      "restore",
+	KindHandover:     "handover",
 }
 
 // String implements fmt.Stringer.

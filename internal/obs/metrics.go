@@ -41,6 +41,7 @@ type Metrics struct {
 	QueuePromotes   atomic.Int64
 	Downgrades      atomic.Int64
 	Restores        atomic.Int64
+	Handovers       atomic.Int64
 	SinkErrors      atomic.Int64
 
 	// SolveLatency aggregates KindBAISolve durations.
@@ -107,6 +108,8 @@ func (m *Metrics) observe(e *Event) {
 		m.Downgrades.Add(1)
 	case KindRestore:
 		m.Restores.Add(1)
+	case KindHandover:
+		m.Handovers.Add(1)
 	}
 }
 
@@ -148,6 +151,7 @@ func (m *Metrics) counters() []struct {
 		{"queue_promotes_total", m.QueuePromotes.Load()},
 		{"downgrades_total", m.Downgrades.Load()},
 		{"restores_total", m.Restores.Load()},
+		{"handovers_total", m.Handovers.Load()},
 		{"sink_errors_total", m.SinkErrors.Load()},
 	}
 }
@@ -249,6 +253,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 // bucketUpperSeconds is bucket i's inclusive upper bound in seconds.
 func bucketUpperSeconds(i int) float64 {
 	return float64(int64(1)<<uint(i)) / 1e6
+}
+
+// WritePrometheus renders the histogram in the Prometheus text
+// exposition format under the given metric name. Exported so subsystems
+// with their own histograms (e.g. the flareload round-trip tracker) can
+// share one exposition path.
+func (h *Histogram) WritePrometheus(w io.Writer, name string) error {
+	return h.writePrometheus(w, name)
 }
 
 func (h *Histogram) writePrometheus(w io.Writer, name string) error {

@@ -58,11 +58,11 @@ func TestChurnSoakBoundedMemory(t *testing.T) {
 	}
 
 	// Structural bounds: nothing per-flow survives its departure.
-	s.mu.Lock()
-	c := s.cells[0]
+	c := s.lookup(0)
+	c.mu.Lock()
 	nFlows := c.controller.NumFlows()
 	nCurrent, nInstall, nQueue := len(c.current), len(c.installSeq), len(c.queue)
-	s.mu.Unlock()
+	c.mu.Unlock()
 	if nFlows != 0 || nCurrent != 0 || nInstall != 0 {
 		t.Errorf("session state retained after churn: %d flows, %d assignments, %d install seqs",
 			nFlows, nCurrent, nInstall)

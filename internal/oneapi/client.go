@@ -479,6 +479,41 @@ func ReportStatsContext(ctx context.Context, httpc *http.Client, baseURL string,
 	return sr, nil
 }
 
+// ReportStatsBatch POSTs many cells' reports in one exchange — the
+// aggregation-site client side of /oneapi/v4/stats/batch. The server
+// fans the BAI rounds across its worker pool; results come back in
+// request order with per-cell errors inside the envelope (one stale
+// cell cannot fail its neighbours).
+func ReportStatsBatch(ctx context.Context, httpc *http.Client, baseURL string, reports []CellReport) (BatchStatsResponse, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	body, err := json.Marshal(BatchStatsRequest{Reports: reports})
+	if err != nil {
+		return BatchStatsResponse{}, fmt.Errorf("oneapi: marshal batch stats request: %w", err)
+	}
+	reqCtx, cancel := context.WithTimeout(ctx, DefaultClientConfig().RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, baseURL+"/oneapi/v4/stats/batch", bytes.NewReader(body))
+	if err != nil {
+		return BatchStatsResponse{}, fmt.Errorf("oneapi: build batch stats request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return BatchStatsResponse{}, fmt.Errorf("oneapi: report stats batch: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return BatchStatsResponse{}, fmt.Errorf("oneapi: report stats batch: %w", respErr(resp))
+	}
+	var br BatchStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return BatchStatsResponse{}, fmt.Errorf("oneapi: decode batch stats response: %w", err)
+	}
+	return br, nil
+}
+
 func drainClose(rc io.ReadCloser) {
 	_, _ = io.Copy(io.Discard, rc)
 	_ = rc.Close()

@@ -38,6 +38,12 @@ var (
 	// cell's wait queue for later promotion, so clients should retry
 	// the open after the hint (not treat the flow as denied forever).
 	ErrAdmissionRejected = errors.New("oneapi: session rejected by admission control")
+
+	// ErrDraining refuses new sessions and new BAI rounds while the
+	// server is shutting down gracefully (BeginDrain); in-flight rounds
+	// still complete. The HTTP binding maps it to 503 with a Retry-After
+	// hint so load balancers and clients fail over cleanly.
+	ErrDraining = errors.New("oneapi: server is draining")
 )
 
 // Machine-readable error codes carried in the HTTP binding's
@@ -49,6 +55,7 @@ const (
 	CodeNoAssignment    = "no_assignment"
 	CodeConflict        = "conflict"
 	CodeAdmissionReject = "admission_reject"
+	CodeDraining        = "draining"
 	CodeBadRequest      = "bad_request"
 	CodeInternal        = "internal"
 )
@@ -68,6 +75,8 @@ func codeFor(err error) string {
 		return CodeConflict
 	case errors.Is(err, ErrAdmissionRejected):
 		return CodeAdmissionReject
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
 	default:
 		return CodeInternal
 	}
@@ -89,6 +98,8 @@ func errorForCode(code string) error {
 		return ErrSessionConflict
 	case CodeAdmissionReject:
 		return ErrAdmissionRejected
+	case CodeDraining:
+		return ErrDraining
 	default:
 		return nil
 	}

@@ -17,7 +17,9 @@ import (
 //	POST   /oneapi/v4/cells/{cell}/sessions            open a session
 //	DELETE /oneapi/v4/cells/{cell}/sessions/{flow}     close a session
 //	POST   /oneapi/v4/cells/{cell}/stats               eNB report -> BAI
+//	POST   /oneapi/v4/stats/batch                      many cells' reports -> parallel BAIs
 //	GET    /oneapi/v4/cells/{cell}/assignments/{flow}  plugin poll
+//	POST   /oneapi/v4/cells/{cell}/sessions/{flow}/handover  move session to another cell
 //
 // The stats POST doubles as the enforcement channel: its response body
 // carries the GBR assignments for the eNodeB's Continuous GBR Updater,
@@ -40,10 +42,11 @@ func Handler(s *Server) http.Handler {
 		switch {
 		case errors.Is(err, ErrSessionConflict):
 			writeErr(w, http.StatusConflict, err)
-		case errors.Is(err, ErrAdmissionRejected):
-			// Overload refusal, not failure: 503 with a Retry-After of
-			// one BAI — the earliest moment admission can re-evaluate
-			// (a close or a radio-cost shift both surface per BAI).
+		case errors.Is(err, ErrAdmissionRejected), errors.Is(err, ErrDraining):
+			// Overload refusal or graceful drain, not failure: 503 with
+			// a Retry-After of one BAI — for admission, the earliest
+			// moment the predicate can re-evaluate; for a drain, a sane
+			// fail-over pause.
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s)))
 			writeErr(w, http.StatusServiceUnavailable, err)
 		case err != nil:
@@ -103,6 +106,10 @@ func Handler(s *Server) http.Handler {
 		case errors.Is(err, ErrStaleReport):
 			writeErr(w, http.StatusConflict, err)
 			return
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s)))
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
 		case errors.As(err, &enforceErr):
 			// Partial enforcement: the BAI ran; the response carries
 			// both the committed assignments and the failures.
@@ -111,6 +118,52 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /oneapi/v4/stats/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchStatsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode batch stats request: %w", err))
+			return
+		}
+		outcomes := s.RunBAIRounds(req.Reports, nil)
+		resp := BatchStatsResponse{Results: make([]BatchStatsResult, len(outcomes))}
+		for i, o := range outcomes {
+			res := BatchStatsResult{CellID: o.CellID, StatsResponse: o.Resp}
+			// Per-cell errors ride inside the 200 envelope: one stale
+			// or draining cell must not fail the other cells' rounds.
+			var enforceErr *EnforceError
+			if o.Err != nil && !errors.As(o.Err, &enforceErr) {
+				res.Error = o.Err.Error()
+				res.Code = codeFor(o.Err)
+			}
+			resp.Results[i] = res
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /oneapi/v4/cells/{cell}/sessions/{flow}/handover", func(w http.ResponseWriter, r *http.Request) {
+		fromCell, err1 := pathInt(r, "cell")
+		flowID, err2 := pathInt(r, "flow")
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad path"))
+			return
+		}
+		var req HandoverRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode handover request: %w", err))
+			return
+		}
+		if err := s.Handover(fromCell, req.ToCell, flowID); err != nil {
+			switch {
+			case errors.Is(err, ErrUnknownSession), errors.Is(err, ErrUnknownCell):
+				writeErr(w, http.StatusNotFound, err)
+			default:
+				writeErr(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 
 	mux.HandleFunc("GET /oneapi/v4/cells/{cell}/assignments/{flow}", func(w http.ResponseWriter, r *http.Request) {

@@ -75,3 +75,33 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
 }
+
+// HandoverRequest asks the server to move a live session into another
+// cell (the session and source cell are in the URL path).
+type HandoverRequest struct {
+	ToCell int `json:"to_cell"`
+}
+
+// BatchStatsRequest carries many cells' statistics reports in one POST
+// — the aggregation-site wire format. The server fans the BAI rounds
+// across its worker pool (RunBAIRounds).
+type BatchStatsRequest struct {
+	Reports []CellReport `json:"reports"`
+}
+
+// BatchStatsResult is one cell's outcome in a batched stats exchange.
+// Per-cell failures ride inside the 200 envelope — Error/Code are set
+// and the embedded response empty — so one stale cell cannot fail its
+// neighbours' rounds.
+type BatchStatsResult struct {
+	CellID int `json:"cell_id"`
+	StatsResponse
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// BatchStatsResponse is the reply to a BatchStatsRequest, results in
+// request order.
+type BatchStatsResponse struct {
+	Results []BatchStatsResult `json:"results"`
+}

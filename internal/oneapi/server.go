@@ -2,12 +2,15 @@ package oneapi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flare-sim/flare/internal/core"
 	"github.com/flare-sim/flare/internal/has"
 	"github.com/flare-sim/flare/internal/obs"
+	"github.com/flare-sim/flare/internal/sim"
 )
 
 // PCEF is the enforcement interface: the policy-and-charging enforcement
@@ -24,10 +27,56 @@ type PCEFFunc func(flowID int, gbrBps float64) error
 // SetGBR implements PCEF.
 func (f PCEFFunc) SetGBR(flowID int, gbrBps float64) error { return f(flowID, gbrBps) }
 
+// GBRInstall is one entry of a batched PCEF install: the GBR a BAI
+// round wants enforced for one bearer.
+type GBRInstall struct {
+	FlowID int     `json:"flow_id"`
+	GBRBps float64 `json:"gbr_bps"`
+}
+
+// BatchPCEF is an optional PCEF capability: install a whole BAI round's
+// GBRs in one grouped call instead of one round trip per flow. The
+// result slice must be parallel to installs (nil error = installed); a
+// nil slice means every install succeeded. The server folds the results
+// exactly as it folds per-flow SetGBR calls — failed downgrades are
+// published to polls, failed upgrades keep the previous assignment —
+// so batching is an amortisation, never a semantic change.
+type BatchPCEF interface {
+	PCEF
+	SetGBRBatch(installs []GBRInstall) []error
+}
+
+// PCEFBatchFunc adapts a function to BatchPCEF; its per-flow SetGBR
+// view wraps single-entry batches.
+type PCEFBatchFunc func(installs []GBRInstall) []error
+
+// SetGBRBatch implements BatchPCEF.
+func (f PCEFBatchFunc) SetGBRBatch(installs []GBRInstall) []error { return f(installs) }
+
+// SetGBR implements PCEF.
+func (f PCEFBatchFunc) SetGBR(flowID int, gbrBps float64) error {
+	errs := f([]GBRInstall{{FlowID: flowID, GBRBps: gbrBps}})
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
 type cellState struct {
+	// mu serializes operations on this cell only: BAI rounds, session
+	// lifecycle, polls. Distinct cells never contend on it.
+	mu sync.Mutex
+
+	id         int
 	controller *core.Controller
-	baiSeq     int64
-	current    map[int]core.Assignment
+	// rec and pcef are per-cell copies of the server-level hooks, made
+	// at cell creation (and re-pointed by SetRecorder/SetPCEF) so the
+	// hot paths never read server-global state.
+	rec  *obs.Recorder
+	pcef PCEF
+
+	baiSeq  int64
+	current map[int]core.Assignment
 	// installSeq records, per flow, the BAI sequence at which the
 	// flow's current assignment was successfully installed; it lags
 	// baiSeq for flows whose PCEF installs failed, which is how
@@ -43,16 +92,44 @@ type cellState struct {
 	queue []SessionRequest
 }
 
+// cellIndex maps cell IDs to their state within one shard. It is
+// published copy-on-write through shard.index, so lookups of existing
+// cells are a single atomic load plus a map read — no lock at all.
+type cellIndex = map[int]*cellState
+
+// shard is one lock stripe of the control plane. The shard mutex guards
+// only index *mutation* (cell creation); per-cell operations take the
+// cell's own mutex, so sessions, reports, and polls on distinct cells —
+// even cells of the same shard — never serialize on shared state.
+type shard struct {
+	mu    sync.Mutex
+	index atomic.Pointer[cellIndex]
+	// inflight counts BAI rounds currently executing in this shard's
+	// cells; the graceful drain waits for every shard to idle.
+	inflight atomic.Int64
+}
+
+// DefaultShards is the shard count NewServer uses. Shard count never
+// changes behaviour — only contention — so the default just needs to
+// comfortably exceed the core counts the server runs on.
+const DefaultShards = 16
+
 // Server is the OneAPI server: one FLARE controller per managed cell
 // ("a single OneAPI server can manage multiple BSs, though the bitrates
 // are calculated independently for each network cell"). It is safe for
-// concurrent use — the HTTP binding serves it from multiple goroutines.
+// concurrent use — the HTTP binding serves it from multiple goroutines
+// — and is sharded by cell: per-cell state lives in lock-striped shards
+// with a copy-on-write index, so operations on distinct cells proceed
+// in parallel and shards=1 is semantically identical to shards=N.
 type Server struct {
-	cfg  core.Config
-	pcrf *PCRF
+	cfg    core.Config
+	pcrf   *PCRF
+	shards []shard
 
-	mu    sync.Mutex
-	cells map[int]*cellState
+	// optMu guards the creation-time defaults below (the values copied
+	// into each new cellState) and orders Set* re-pointing against cell
+	// creation. It is never taken on per-cell hot paths.
+	optMu sync.Mutex
 	// pcef is the server-side enforcement hook, used by BAIs whose
 	// caller passes no PCEF — notably the HTTP stats endpoint, where the
 	// PCEF lives next to the server rather than the eNodeB. Nil means
@@ -65,14 +142,104 @@ type Server struct {
 	// solver-latency clock (see core.Controller.SetWallClock). Tests
 	// fake it; production leaves it nil.
 	wallClock func() time.Time
+
+	// draining refuses new sessions and new BAI rounds once a graceful
+	// shutdown has begun; in-flight rounds complete (see BeginDrain).
+	draining atomic.Bool
+
+	// baiPool fans RunBAIRounds batches across cells. It is created
+	// lazily (in-process simulation servers never batch) and driven
+	// under poolMu because sim.WorkerPool is single-driver.
+	poolMu  sync.Mutex
+	baiPool *sim.WorkerPool
 }
 
-// NewServer builds a OneAPI server that creates controllers with cfg.
+// NewServer builds a OneAPI server that creates controllers with cfg,
+// sharded DefaultShards ways.
 func NewServer(cfg core.Config, pcrf *PCRF) *Server {
+	return NewServerSharded(cfg, pcrf, DefaultShards)
+}
+
+// NewServerSharded is NewServer with an explicit shard count (values
+// below 1 are clamped to 1). Shard count is a contention knob only:
+// results are byte-identical at every count.
+func NewServerSharded(cfg core.Config, pcrf *PCRF, shards int) *Server {
 	if pcrf == nil {
 		pcrf = NewPCRF()
 	}
-	return &Server{cfg: cfg, pcrf: pcrf, cells: make(map[int]*cellState)}
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Server{cfg: cfg, pcrf: pcrf, shards: make([]shard, shards)}
+	for i := range s.shards {
+		empty := make(cellIndex)
+		s.shards[i].index.Store(&empty)
+	}
+	return s
+}
+
+// Shards returns the server's shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardFor maps a cell ID onto its shard. Fibonacci hashing spreads
+// consecutive cell IDs (the common numbering) across stripes.
+func (s *Server) shardFor(cellID int) *shard {
+	h := uint32(cellID) * 2654435761 // Knuth's multiplicative hash
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+// lookup finds an existing cell without taking any lock: one atomic
+// index load plus a map read.
+func (s *Server) lookup(cellID int) *cellState {
+	return (*s.shardFor(cellID).index.Load())[cellID]
+}
+
+// cell returns the cell's state, creating it on first contact. The
+// fast path is the lock-free lookup; creation takes optMu (so the
+// copied defaults are stable) and the shard mutex (so concurrent
+// creators agree), then publishes a fresh index copy-on-write.
+func (s *Server) cell(cellID int) *cellState {
+	if c := s.lookup(cellID); c != nil {
+		return c
+	}
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
+	sh := s.shardFor(cellID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.index.Load()
+	if c, ok := old[cellID]; ok {
+		return c
+	}
+	c := &cellState{
+		id:         cellID,
+		controller: core.NewController(s.cfg),
+		rec:        s.rec,
+		pcef:       s.pcef,
+		current:    make(map[int]core.Assignment),
+		installSeq: make(map[int]int64),
+	}
+	c.controller.SetRecorder(s.rec, cellID)
+	if s.wallClock != nil {
+		c.controller.SetWallClock(s.wallClock)
+	}
+	next := make(cellIndex, len(old)+1)
+	for id, st := range old {
+		next[id] = st
+	}
+	next[cellID] = c
+	sh.index.Store(&next)
+	return c
+}
+
+// forEachCell visits every live cell. Iteration order is unspecified;
+// callers must not rely on it (it is used only for re-pointing hooks).
+func (s *Server) forEachCell(fn func(*cellState)) {
+	for i := range s.shards {
+		for _, c := range *s.shards[i].index.Load() {
+			fn(c)
+		}
+	}
 }
 
 // PCRF exposes the server's flow registry.
@@ -82,30 +249,35 @@ func (s *Server) PCRF() *PCRF { return s.pcrf }
 // created afterwards inherit it; controllers that already exist are
 // re-pointed too, so attach order does not matter.
 func (s *Server) SetRecorder(rec *obs.Recorder) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
 	s.rec = rec
-	for id, c := range s.cells {
-		c.controller.SetRecorder(rec, id)
-	}
+	s.forEachCell(func(c *cellState) {
+		c.mu.Lock()
+		c.rec = rec
+		c.controller.SetRecorder(rec, c.id)
+		c.mu.Unlock()
+	})
 }
 
 // SetWallClock injects the wall-clock source controllers use to time
 // BAI solves (nil restores time.Now). Like SetRecorder, it re-points
 // controllers that already exist, so attach order does not matter.
 func (s *Server) SetWallClock(now func() time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
 	s.wallClock = now
-	for _, c := range s.cells {
+	s.forEachCell(func(c *cellState) {
+		c.mu.Lock()
 		c.controller.SetWallClock(now)
-	}
+		c.mu.Unlock()
+	})
 }
 
 // Recorder returns the attached telemetry recorder (nil when disabled).
 func (s *Server) Recorder() *obs.Recorder {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
 	return s.rec
 }
 
@@ -113,26 +285,47 @@ func (s *Server) Recorder() *obs.Recorder {
 // with a nil PCEF (e.g. over HTTP) install GBRs through it. Failures
 // are collected per flow, never aborting the BAI (see RunBAIReport).
 func (s *Server) SetPCEF(p PCEF) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.optMu.Lock()
+	defer s.optMu.Unlock()
 	s.pcef = p
+	s.forEachCell(func(c *cellState) {
+		c.mu.Lock()
+		c.pcef = p
+		c.mu.Unlock()
+	})
 }
 
-func (s *Server) cell(cellID int) *cellState {
-	c, ok := s.cells[cellID]
-	if !ok {
-		c = &cellState{
-			controller: core.NewController(s.cfg),
-			current:    make(map[int]core.Assignment),
-			installSeq: make(map[int]int64),
-		}
-		c.controller.SetRecorder(s.rec, cellID)
-		if s.wallClock != nil {
-			c.controller.SetWallClock(s.wallClock)
-		}
-		s.cells[cellID] = c
+// BeginDrain puts the server into drain mode: new sessions and new BAI
+// rounds are refused with ErrDraining while rounds already executing
+// run to completion — no BAI is ever dropped mid-install. Polls and
+// closes keep working so clients can read final state on their way out.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainWait blocks until every shard's in-flight BAI rounds have
+// completed, or ctx-style deadline d elapses (d <= 0 waits up to a
+// second). It returns the number of rounds still in flight (0 on a
+// clean drain). Callers normally BeginDrain first.
+func (s *Server) DrainWait(d time.Duration) int {
+	if d <= 0 {
+		d = time.Second
 	}
-	return c
+	deadline := time.Now().Add(d)
+	for {
+		var inflight int64
+		for i := range s.shards {
+			inflight += s.shards[i].inflight.Load()
+		}
+		if inflight == 0 {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			return int(inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // OpenSession registers a video flow in a cell. Re-registering an
@@ -155,9 +348,12 @@ func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) 
 	if err := ladder.Validate(); err != nil {
 		return false, fmt.Errorf("oneapi: open session flow %d: %w", req.FlowID, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false, fmt.Errorf("oneapi: open session flow %d: %w", req.FlowID, ErrDraining)
+	}
 	c := s.cell(cellID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if snap, snapErr := c.controller.Snapshot(req.FlowID); snapErr == nil {
 		// The flow is already registered: idempotent when the ladder
 		// matches (preferences are simply refreshed), conflict when it
@@ -172,16 +368,16 @@ func (s *Server) Open(cellID int, req SessionRequest) (created bool, err error) 
 	}
 	if s.cfg.AdmissionControl && !c.controller.CanAdmit(ladder) {
 		queued := s.enqueueLocked(c, req)
-		s.rec.Emit(obs.Reject(int32(cellID), int32(req.FlowID), queued))
+		c.rec.Emit(obs.Reject(int32(cellID), int32(req.FlowID), queued))
 		return false, fmt.Errorf("oneapi: open session flow %d: %w", req.FlowID, ErrAdmissionRejected)
 	}
 	if err := c.controller.Register(req.FlowID, ladder, req.Preferences); err != nil {
 		return false, fmt.Errorf("oneapi: open session: %w", err)
 	}
 	s.dequeueLocked(c, req.FlowID)
-	s.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
+	c.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
 	if s.cfg.AdmissionControl {
-		s.rec.Emit(obs.Admit(int32(cellID), int32(req.FlowID), false))
+		c.rec.Emit(obs.Admit(int32(cellID), int32(req.FlowID), false))
 	}
 	return true, nil
 }
@@ -230,9 +426,9 @@ func (s *Server) dequeueLocked(c *cellState, flowID int) {
 
 // promoteLocked admits queued sessions head-first while the admission
 // predicate holds. Called whenever capacity may have freed: after a
-// session close and after each BAI (radio costs shift the floor
-// demand). Registration failures drop the entry — the client will
-// retry its open and get a fresh verdict.
+// session close, after a handover departure, and after each BAI (radio
+// costs shift the floor demand). Registration failures drop the entry —
+// the client will retry its open and get a fresh verdict.
 func (s *Server) promoteLocked(cellID int, c *cellState) {
 	if !s.cfg.AdmissionControl {
 		return
@@ -246,21 +442,22 @@ func (s *Server) promoteLocked(cellID int, c *cellState) {
 		if err := c.controller.Register(req.FlowID, has.Ladder(req.LadderBps), req.Preferences); err != nil {
 			continue
 		}
-		s.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
-		s.rec.Emit(obs.QueuePromote(int32(cellID), int32(req.FlowID), int32(len(c.queue))))
-		s.rec.Emit(obs.Admit(int32(cellID), int32(req.FlowID), true))
+		c.rec.Emit(obs.SessionOpen(int32(cellID), int32(req.FlowID)))
+		c.rec.Emit(obs.QueuePromote(int32(cellID), int32(req.FlowID), int32(len(c.queue))))
+		c.rec.Emit(obs.Admit(int32(cellID), int32(req.FlowID), true))
 	}
 }
 
 // QueueDepth returns the number of sessions waiting for admission in a
 // cell (0 for unknown cells).
 func (s *Server) QueueDepth(cellID int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.cells[cellID]; ok {
-		return len(c.queue)
+	c := s.lookup(cellID)
+	if c == nil {
+		return 0
 	}
-	return 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
 }
 
 func sameLadder(a, b has.Ladder) bool {
@@ -277,52 +474,90 @@ func sameLadder(a, b has.Ladder) bool {
 
 // CloseSession removes a video flow.
 func (s *Server) CloseSession(cellID, flowID int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.cells[cellID]; ok {
-		c.controller.Unregister(flowID)
-		delete(c.current, flowID)
-		delete(c.installSeq, flowID)
-		s.dequeueLocked(c, flowID)
-		s.rec.Emit(obs.SessionClose(int32(cellID), int32(flowID)))
-		s.promoteLocked(cellID, c)
+	c := s.lookup(cellID)
+	if c == nil {
+		return
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.controller.Unregister(flowID)
+	delete(c.current, flowID)
+	delete(c.installSeq, flowID)
+	s.dequeueLocked(c, flowID)
+	c.rec.Emit(obs.SessionClose(int32(cellID), int32(flowID)))
+	s.promoteLocked(cellID, c)
 }
 
-// Handover moves a video session between cells (the multi-BS deployment:
-// the UE re-attaches at a neighbouring eNodeB and its session follows).
-// The session's ladder and preferences move with it; its bitrate level
-// restarts from the new cell's first unconstrained BAI, since the old
-// cell's radio-cost history is meaningless there.
+// Handover moves a live video session between cells — a shard-to-shard
+// state transfer, not a close+reopen: the flow keeps its session ID,
+// its ladder and preferences move with it, and its current assignment
+// is carried so polls keep answering during the gap before the target
+// cell's first BAI. The assignment's age (CellSeq−BAISeq) is preserved
+// across the transfer, so staleness detectors keep ageing it honestly;
+// the bitrate itself is re-optimised at the target's next BAI, since
+// the source cell's radio-cost history is meaningless there.
+//
+// Handover bypasses the admission predicate deliberately: in cellular
+// admission control, handover calls outrank new calls (dropping a
+// session in motion is worse than refusing a new one). Capacity the
+// flow frees in the source cell promotes its wait queue immediately.
 func (s *Server) Handover(fromCell, toCell, flowID int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	from, ok := s.cells[fromCell]
-	if !ok {
+	if fromCell == toCell {
+		return fmt.Errorf("oneapi: handover: flow %d is already in cell %d", flowID, toCell)
+	}
+	from := s.lookup(fromCell)
+	if from == nil {
 		return fmt.Errorf("oneapi: handover: unknown source cell %d", fromCell)
 	}
+	to := s.cell(toCell)
+	// Both cells (possibly on different shards) are locked for the
+	// transfer; global cell-ID order keeps concurrent handovers
+	// deadlock-free.
+	first, second := from, to
+	if toCell < fromCell {
+		first, second = to, from
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
 	snap, err := from.controller.Snapshot(flowID)
 	if err != nil {
-		return fmt.Errorf("oneapi: handover: %w", err)
+		return fmt.Errorf("oneapi: handover flow %d from cell %d: %w", flowID, fromCell, ErrUnknownSession)
 	}
-	to := s.cell(toCell)
 	if err := to.controller.Register(flowID, snap.Ladder, snap.Preferences); err != nil {
 		return fmt.Errorf("oneapi: handover: %w", err)
+	}
+	if a, ok := from.current[flowID]; ok {
+		age := from.baiSeq - from.installSeq[flowID]
+		inst := to.baiSeq - age
+		if inst < 0 {
+			// The target cell is younger than the assignment's age:
+			// clamp — the age signal saturates at the target's own
+			// BAI count, which is every BAI the new shard can vouch for.
+			inst = 0
+		}
+		to.current[flowID] = a
+		to.installSeq[flowID] = inst
 	}
 	from.controller.Unregister(flowID)
 	delete(from.current, flowID)
 	delete(from.installSeq, flowID)
+	s.dequeueLocked(from, flowID)
+	s.promoteLocked(fromCell, from)
+	to.rec.Emit(obs.Handover(int32(fromCell), int32(toCell), int32(flowID)))
 	return nil
 }
 
 // SetPreferences updates a session's client preferences.
 func (s *Server) SetPreferences(cellID, flowID int, prefs core.Preferences) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.cells[cellID]
-	if !ok {
+	c := s.lookup(cellID)
+	if c == nil {
 		return fmt.Errorf("oneapi: unknown cell %d", cellID)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.controller.SetPreferences(flowID, prefs)
 }
 
@@ -347,21 +582,33 @@ func (s *Server) RunBAI(cellID int, report StatsReport, pcef PCEF) ([]core.Assig
 // committed assignments, the BAI sequence they belong to, and any
 // per-flow enforcement failures. err is *EnforceError (with resp still
 // valid) on partial enforcement, ErrStaleReport for an out-of-order
-// sequenced report, or another error when the optimisation itself
-// failed (in which case no state changed).
+// sequenced report, ErrDraining during a graceful shutdown, or another
+// error when the optimisation itself failed (in which case no state
+// changed).
+//
+// When the PCEF implements BatchPCEF the round's installs go down in
+// one grouped call — one install sequence bump, one round trip — and
+// the per-flow results are folded in assignment order, byte-identically
+// to the per-flow path.
 func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsResponse, error) {
 	nData := report.NumDataFlows
 	if nData < 0 {
 		nData = s.pcrf.NumDataFlows(cellID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if pcef == nil {
-		pcef = s.pcef // server-side hook (may still be nil)
+	sh := s.shardFor(cellID)
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	if s.draining.Load() {
+		return StatsResponse{}, fmt.Errorf("oneapi: cell %d: %w", cellID, ErrDraining)
 	}
 	c := s.cell(cellID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pcef == nil {
+		pcef = c.pcef // server-side hook (may still be nil)
+	}
 	if report.Seq > 0 && report.Seq <= c.lastReportSeq {
-		s.rec.Emit(obs.StaleReport(int32(cellID), report.Seq))
+		c.rec.Emit(obs.StaleReport(int32(cellID), report.Seq))
 		return StatsResponse{}, fmt.Errorf("oneapi: cell %d: report seq %d <= last accepted %d: %w",
 			cellID, report.Seq, c.lastReportSeq, ErrStaleReport)
 	}
@@ -373,32 +620,37 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 		c.lastReportSeq = report.Seq
 	}
 	c.baiSeq++
+
+	// Enforcement: one grouped PCEF call when the capability is there,
+	// the per-flow loop otherwise. Either way installErrs[i] is flow
+	// i's outcome and the fold below is shared, so the two paths are
+	// observationally identical.
+	installErrs := installGBRs(pcef, assignments)
+
 	committed := make([]core.Assignment, 0, len(assignments))
 	var failed []EnforcementFailure
-	for _, a := range assignments {
-		if pcef != nil {
-			if err := pcef.SetGBR(a.FlowID, a.RateBps); err != nil {
-				// All-installed-or-previous-kept per flow: the flow's
-				// previous assignment and install sequence survive, so
-				// polling plugins see its age grow. Downgrades are the
-				// exception: under overload a failed install must not
-				// leave the flow advertising a higher rate than the
-				// optimiser just chose — the stale high assignment is
-				// what starves the cell — so the lower assignment is
-				// published to polls while installSeq keeps lagging
-				// (the staleness signal stays intact).
-				failed = append(failed, EnforcementFailure{FlowID: a.FlowID, Reason: err.Error()})
-				s.rec.Emit(obs.InstallFail(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
-				if prev, ok := c.current[a.FlowID]; ok && a.RateBps < prev.RateBps {
-					c.current[a.FlowID] = a
-				}
-				continue
+	for i, a := range assignments {
+		if installErrs != nil && installErrs[i] != nil {
+			// All-installed-or-previous-kept per flow: the flow's
+			// previous assignment and install sequence survive, so
+			// polling plugins see its age grow. Downgrades are the
+			// exception: under overload a failed install must not
+			// leave the flow advertising a higher rate than the
+			// optimiser just chose — the stale high assignment is
+			// what starves the cell — so the lower assignment is
+			// published to polls while installSeq keeps lagging
+			// (the staleness signal stays intact).
+			failed = append(failed, EnforcementFailure{FlowID: a.FlowID, Reason: installErrs[i].Error()})
+			c.rec.Emit(obs.InstallFail(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
+			if prev, ok := c.current[a.FlowID]; ok && a.RateBps < prev.RateBps {
+				c.current[a.FlowID] = a
 			}
+			continue
 		}
 		c.current[a.FlowID] = a
 		c.installSeq[a.FlowID] = c.baiSeq
 		committed = append(committed, a)
-		s.rec.Emit(obs.Install(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
+		c.rec.Emit(obs.Install(int32(cellID), int32(a.FlowID), c.baiSeq, int32(a.Level), a.RateBps))
 	}
 	s.promoteLocked(cellID, c)
 	resp := StatsResponse{Assignments: committed, BAISeq: c.baiSeq, Failed: failed}
@@ -406,6 +658,105 @@ func (s *Server) RunBAIReport(cellID int, report StatsReport, pcef PCEF) (StatsR
 		return resp, &EnforceError{BAISeq: c.baiSeq, Failed: failed}
 	}
 	return resp, nil
+}
+
+// installGBRs pushes one BAI round's assignments through the PCEF and
+// returns the per-assignment outcomes (nil slice when pcef is nil or
+// every install succeeded through a batch). A batch implementation
+// returning the wrong result count breaks its contract; every install
+// is then treated as failed so no flow silently advances.
+func installGBRs(pcef PCEF, assignments []core.Assignment) []error {
+	if pcef == nil || len(assignments) == 0 {
+		return nil
+	}
+	if bp, ok := pcef.(BatchPCEF); ok {
+		installs := make([]GBRInstall, len(assignments))
+		for i, a := range assignments {
+			installs[i] = GBRInstall{FlowID: a.FlowID, GBRBps: a.RateBps}
+		}
+		errs := bp.SetGBRBatch(installs)
+		if errs == nil {
+			return nil
+		}
+		if len(errs) != len(installs) {
+			bad := fmt.Errorf("oneapi: batch pcef returned %d results for %d installs", len(errs), len(installs))
+			errs = make([]error, len(installs))
+			for i := range errs {
+				errs[i] = bad
+			}
+		}
+		return errs
+	}
+	errs := make([]error, len(assignments))
+	for i, a := range assignments {
+		errs[i] = pcef.SetGBR(a.FlowID, a.RateBps)
+	}
+	return errs
+}
+
+// CellReport pairs a cell with one statistics report, for batched BAI
+// rounds (RunBAIRounds and the stats/batch HTTP endpoint).
+type CellReport struct {
+	CellID int         `json:"cell_id"`
+	Report StatsReport `json:"report"`
+}
+
+// RoundOutcome is one cell's result in a batched BAI round.
+type RoundOutcome struct {
+	CellID int
+	Resp   StatsResponse
+	Err    error
+}
+
+// RunBAIRounds executes one BAI per report, fanning the solves across a
+// bounded worker pool so an aggregation site reporting many cells at
+// once amortises solver work across cores. Outcomes are slotted by
+// input index, so the result order is deterministic regardless of pool
+// width. Cell IDs within one batch should be distinct: duplicates
+// serialize on the cell's lock in unspecified order (sequenced reports
+// then reject the loser as stale).
+func (s *Server) RunBAIRounds(reports []CellReport, pcef PCEF) []RoundOutcome {
+	out := make([]RoundOutcome, len(reports))
+	if len(reports) == 0 {
+		return out
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.baiPool == nil {
+		s.baiPool = sim.NewWorkerPool(runtime.GOMAXPROCS(0))
+	}
+	s.baiPool.Do(len(reports), &roundRunner{s: s, reports: reports, pcef: pcef, out: out})
+	return out
+}
+
+// roundRunner adapts a batch of BAI rounds to sim.RangeRunner: each
+// worker owns a disjoint slice of report indices and writes only its
+// own outcome slots.
+type roundRunner struct {
+	s       *Server
+	reports []CellReport
+	pcef    PCEF
+	out     []RoundOutcome
+}
+
+// RunRange implements sim.RangeRunner.
+func (r *roundRunner) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		cr := r.reports[i]
+		resp, err := r.s.RunBAIReport(cr.CellID, cr.Report, r.pcef)
+		r.out[i] = RoundOutcome{CellID: cr.CellID, Resp: resp, Err: err}
+	}
+}
+
+// Close releases the server's worker pool (if RunBAIRounds ever created
+// one). The server must not be used after Close.
+func (s *Server) Close() {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.baiPool != nil {
+		s.baiPool.Close()
+		s.baiPool = nil
+	}
 }
 
 // Assignment returns a flow's most recent assignment, for polling
@@ -420,12 +771,12 @@ func (s *Server) Assignment(cellID, flowID int) (AssignmentResponse, bool) {
 // restart this tells the client to re-open), or ErrNoAssignment (the
 // session is live but no BAI has assigned it yet).
 func (s *Server) AssignmentErr(cellID, flowID int) (AssignmentResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.cells[cellID]
-	if !ok {
+	c := s.lookup(cellID)
+	if c == nil {
 		return AssignmentResponse{}, fmt.Errorf("oneapi: cell %d: %w", cellID, ErrUnknownCell)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	a, ok := c.current[flowID]
 	if !ok {
 		if _, err := c.controller.Snapshot(flowID); err != nil {
@@ -444,12 +795,12 @@ func (s *Server) AssignmentErr(cellID, flowID int) (AssignmentResponse, error) {
 
 // SolveTimes returns the per-BAI optimiser wall times for a cell.
 func (s *Server) SolveTimes(cellID int) []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.cells[cellID]
-	if !ok {
+	c := s.lookup(cellID)
+	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	times := c.controller.SolveTimes()
 	out := make([]float64, len(times))
 	for i, d := range times {

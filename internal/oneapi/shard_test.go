@@ -1,0 +1,417 @@
+package oneapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/flare-sim/flare/internal/core"
+	"github.com/flare-sim/flare/internal/has"
+)
+
+// healthyReport builds a statistics report in which every listed flow
+// has ample radio headroom, so the optimiser places them high and PCEF
+// installs run every round.
+func healthyReport(flows ...int) StatsReport {
+	m := make(map[int]core.FlowStats, len(flows))
+	for _, f := range flows {
+		m[f] = core.FlowStats{Bytes: 1_000_000, RBs: 50_000}
+	}
+	return StatsReport{Flows: m}
+}
+
+// TestShardedRaceHammer exercises the whole per-cell surface —
+// OpenSession, RunBAIReport, Assignment polls, SetPreferences,
+// CloseSession, and cross-shard Handover — concurrently across many
+// cells. It asserts nothing beyond "no unexpected error": its real
+// teeth are the race detector (make check runs the package under
+// -race) and the deadlock timeout.
+func TestShardedRaceHammer(t *testing.T) {
+	const (
+		cells    = 48 // spread across all DefaultShards stripes
+		flows    = 4
+		rounds   = 6
+		handoffs = 64
+	)
+	s := serverForTest() // DefaultShards-way sharded
+	errc := make(chan error, 256)
+	var wg sync.WaitGroup
+
+	// One goroutine per cell: the eNodeB loop (open, report, poll, close).
+	for c := 0; c < cells; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := c * 1000
+			ids := make([]int, flows)
+			for i := range ids {
+				ids[i] = base + i
+				if err := s.OpenSession(c, SessionRequest{FlowID: ids[i], LadderBps: has.SimLadder()}); err != nil {
+					errc <- fmt.Errorf("cell %d open %d: %w", c, ids[i], err)
+					return
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := s.RunBAIReport(c, healthyReport(ids...), nil); err != nil {
+					errc <- fmt.Errorf("cell %d round %d: %w", c, r, err)
+					return
+				}
+				for _, f := range ids {
+					if _, err := s.AssignmentErr(c, f); err != nil && !errors.Is(err, ErrUnknownSession) {
+						// ErrUnknownSession is legal: a handover
+						// goroutine may have moved the flow away.
+						errc <- fmt.Errorf("cell %d poll %d: %w", c, f, err)
+						return
+					}
+				}
+				if err := s.SetPreferences(c, ids[0], core.Preferences{MaxBps: 2_000_000}); err != nil && !errors.Is(err, ErrUnknownSession) {
+					errc <- fmt.Errorf("cell %d prefs: %w", c, err)
+					return
+				}
+			}
+			// Churn the last flow: close then re-open.
+			s.CloseSession(c, ids[flows-1])
+			if err := s.OpenSession(c, SessionRequest{FlowID: ids[flows-1], LadderBps: has.SimLadder()}); err != nil {
+				errc <- fmt.Errorf("cell %d re-open: %w", c, err)
+			}
+		}(c)
+	}
+
+	// Handover goroutines shuttle dedicated flows between cell pairs on
+	// different shards while the eNodeB loops run.
+	for h := 0; h < handoffs; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			from, to := h%cells, (h+17)%cells
+			if from == to {
+				return
+			}
+			flow := 500_000 + h
+			if err := s.OpenSession(from, SessionRequest{FlowID: flow, LadderBps: has.SimLadder()}); err != nil {
+				errc <- fmt.Errorf("handover open %d: %w", flow, err)
+				return
+			}
+			for i := 0; i < 4; i++ {
+				if err := s.Handover(from, to, flow); err != nil {
+					errc <- fmt.Errorf("handover %d->%d flow %d: %w", from, to, flow, err)
+					return
+				}
+				from, to = to, from
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestHandoverContinuity pins the shard-to-shard transfer semantics:
+// the flow keeps its session ID and current assignment across the
+// move, and the assignment's age in BAIs — the staleness signal
+// polling plugins act on — is preserved relative to the target cell's
+// own BAI history.
+func TestHandoverContinuity(t *testing.T) {
+	s := serverForTest()
+	const flow = 1
+
+	// Source cell 0: first BAI installs the flow at the ladder top...
+	if err := s.OpenSession(0, SessionRequest{FlowID: flow, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunBAI(0, healthyReport(flow), nil); err != nil {
+		t.Fatal(err)
+	}
+	// ...then two rounds of PCEF failure age it: the re-offered rate is
+	// not lower, so the previous assignment is kept and installSeq lags.
+	failing := PCEFFunc(func(int, float64) error { return errors.New("pcef down") })
+	for i := 0; i < 2; i++ {
+		if _, err := s.RunBAI(0, healthyReport(flow), failing); err == nil {
+			t.Fatal("failing PCEF round reported success")
+		}
+	}
+	before, err := s.AssignmentErr(0, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.AgeBAIs() != 2 {
+		t.Fatalf("pre-handover age = %d, want 2", before.AgeBAIs())
+	}
+
+	// Target cell 33 (a different shard than cell 0 under DefaultShards)
+	// has its own BAI history, deeper than the assignment's age.
+	if err := s.OpenSession(33, SessionRequest{FlowID: 9, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.RunBAI(33, healthyReport(9), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := s.Handover(0, 33, flow); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same session ID, same published assignment, same age — now
+	// expressed against the target cell's sequence numbers.
+	after, err := s.AssignmentErr(33, flow)
+	if err != nil {
+		t.Fatalf("post-handover poll: %v", err)
+	}
+	if after.FlowID != flow || after.RateBps != before.RateBps || after.Level != before.Level {
+		t.Fatalf("assignment changed across handover: %+v -> %+v", before, after)
+	}
+	if after.CellSeq != 5 || after.AgeBAIs() != 2 {
+		t.Fatalf("age not preserved: CellSeq=%d age=%d, want 5 and 2", after.CellSeq, after.AgeBAIs())
+	}
+
+	// The source cell no longer knows the session...
+	if _, err := s.AssignmentErr(0, flow); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("source poll after handover: %v, want ErrUnknownSession", err)
+	}
+	if err := s.Handover(0, 33, flow); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("repeat handover: %v, want ErrUnknownSession", err)
+	}
+	// ...and the target's next BAI re-optimises the flow with a fresh
+	// install (history restarts: the source cell's radio costs are
+	// meaningless at the new eNodeB).
+	if _, err := s.RunBAI(33, healthyReport(9, flow), nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.AssignmentErr(33, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.AgeBAIs() != 0 {
+		t.Fatalf("post-BAI age = %d, want 0 (fresh install)", fresh.AgeBAIs())
+	}
+}
+
+// TestHandoverToFreshCell: when the target cell is younger than the
+// assignment's age, the age clamps to the target's full history — the
+// new shard can only vouch for BAIs it ran.
+func TestHandoverToFreshCell(t *testing.T) {
+	s := serverForTest()
+	if err := s.OpenSession(0, SessionRequest{FlowID: 1, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunBAI(0, healthyReport(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	failing := PCEFFunc(func(int, float64) error { return errors.New("pcef down") })
+	for i := 0; i < 3; i++ {
+		if _, err := s.RunBAI(0, healthyReport(1), failing); err == nil {
+			t.Fatal("failing PCEF round reported success")
+		}
+	}
+	// Age 3, target cell brand new (baiSeq 0): clamp to 0.
+	if err := s.Handover(0, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.AssignmentErr(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BAISeq != 0 || a.CellSeq != 0 || a.AgeBAIs() != 0 {
+		t.Fatalf("fresh-cell handover: %+v, want clamped zero age", a)
+	}
+}
+
+// TestHandoverHTTP covers the wire binding of the transfer.
+func TestHandoverHTTP(t *testing.T) {
+	s := serverForTest()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	if err := s.OpenSession(0, SessionRequest{FlowID: 4, LadderBps: has.SimLadder()}); err != nil {
+		t.Fatal(err)
+	}
+	post := func(cell, flow, toCell int) *http.Response {
+		t.Helper()
+		url := fmt.Sprintf("%s/oneapi/v4/cells/%d/sessions/%d/handover", srv.URL, cell, flow)
+		resp, err := http.Post(url, "application/json", strings.NewReader(fmt.Sprintf(`{"to_cell":%d}`, toCell)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(0, 4, 2); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("handover status %d, want 204", resp.StatusCode)
+	}
+	if _, err := s.AssignmentErr(2, 4); errors.Is(err, ErrUnknownSession) {
+		t.Fatal("session did not move to cell 2")
+	}
+	// Unknown session (already moved away) is a 404, not a 400.
+	if resp := post(0, 4, 2); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stale handover status %d, want 404", resp.StatusCode)
+	}
+	// Same-cell transfer is a request error.
+	if resp := post(2, 4, 2); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("self handover status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchPCEFEquivalence runs the same session population and report
+// stream through a per-flow PCEF and a batch PCEF with the same
+// per-flow outcomes, asserting identical responses, identical
+// published assignments, and the identical downgrade/upgrade fold —
+// batching must be an amortisation, never a semantic change.
+func TestBatchPCEFEquivalence(t *testing.T) {
+	// fail marks which flows' installs fail each round.
+	fail := func(flowID int) bool { return flowID == 2 }
+	perFlow := PCEFFunc(func(flowID int, _ float64) error {
+		if fail(flowID) {
+			return errors.New("bearer busy")
+		}
+		return nil
+	})
+	var batchCalls int
+	batch := PCEFBatchFunc(func(installs []GBRInstall) []error {
+		batchCalls++
+		errs := make([]error, len(installs))
+		any := false
+		for i, in := range installs {
+			if fail(in.FlowID) {
+				errs[i] = errors.New("bearer busy")
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+		return errs
+	})
+
+	run := func(pcef PCEF) (responses []StatsResponse, views []AssignmentResponse) {
+		s := serverForTest()
+		for _, f := range []int{1, 2, 3} {
+			if err := s.OpenSession(0, SessionRequest{FlowID: f, LadderBps: has.SimLadder()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Three rounds with shifting radio stats so assignments move
+		// (the failing flow hits both the first-install and the
+		// keep-previous folds).
+		for r := 0; r < 3; r++ {
+			rep := StatsReport{Flows: map[int]core.FlowStats{
+				1: {Bytes: 1_000_000, RBs: 50_000},
+				2: {Bytes: 400_000 + int64(r)*100_000, RBs: 30_000},
+				3: {Bytes: 200_000, RBs: 20_000 + int64(r)*5_000},
+			}}
+			resp, err := s.RunBAIReport(0, rep, pcef)
+			var ee *EnforceError
+			if err != nil && !errors.As(err, &ee) {
+				t.Fatal(err)
+			}
+			responses = append(responses, resp)
+		}
+		for _, f := range []int{1, 2, 3} {
+			v, err := s.AssignmentErr(0, f)
+			if err != nil && !errors.Is(err, ErrNoAssignment) {
+				t.Fatal(err)
+			}
+			views = append(views, v)
+		}
+		return responses, views
+	}
+
+	wantResp, wantViews := run(perFlow)
+	gotResp, gotViews := run(batch)
+	if fmt.Sprintf("%+v", gotResp) != fmt.Sprintf("%+v", wantResp) {
+		t.Errorf("batch responses diverged\n got: %+v\nwant: %+v", gotResp, wantResp)
+	}
+	if fmt.Sprintf("%+v", gotViews) != fmt.Sprintf("%+v", wantViews) {
+		t.Errorf("batch poll views diverged\n got: %+v\nwant: %+v", gotViews, wantViews)
+	}
+	if batchCalls != 3 {
+		t.Errorf("batch PCEF called %d times, want 3 (one grouped call per round)", batchCalls)
+	}
+}
+
+// TestBatchPCEFBrokenContract: a batch implementation returning the
+// wrong result count fails every install in the round — no flow
+// silently advances on an unaccounted result.
+func TestBatchPCEFBrokenContract(t *testing.T) {
+	s := serverForTest()
+	for _, f := range []int{1, 2} {
+		if err := s.OpenSession(0, SessionRequest{FlowID: f, LadderBps: has.SimLadder()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	broken := PCEFBatchFunc(func(installs []GBRInstall) []error {
+		return make([]error, len(installs)+1)
+	})
+	resp, err := s.RunBAIReport(0, healthyReport(1, 2), broken)
+	var ee *EnforceError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *EnforceError", err)
+	}
+	if len(resp.Failed) != 2 || len(resp.Assignments) != 0 {
+		t.Fatalf("broken batch committed flows: %+v", resp)
+	}
+	for _, f := range resp.Failed {
+		if !strings.Contains(f.Reason, "batch pcef returned") {
+			t.Errorf("failure reason %q does not name the contract breach", f.Reason)
+		}
+	}
+}
+
+// TestRunBAIRoundsMatchesSequential: the pooled batch entry point must
+// produce, per cell, exactly what sequential RunBAIReport calls produce
+// — slotted by input index regardless of pool scheduling.
+func TestRunBAIRoundsMatchesSequential(t *testing.T) {
+	const cells = 9
+	build := func() *Server {
+		s := serverForTest()
+		for c := 0; c < cells; c++ {
+			for f := 0; f < 3; f++ {
+				if err := s.OpenSession(c, SessionRequest{FlowID: c*10 + f, LadderBps: has.SimLadder()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s
+	}
+	reports := make([]CellReport, cells)
+	for c := 0; c < cells; c++ {
+		reports[c] = CellReport{CellID: c, Report: healthyReport(c*10, c*10+1, c*10+2)}
+	}
+
+	seq := build()
+	want := make([]StatsResponse, cells)
+	for c, r := range reports {
+		resp, err := seq.RunBAIReport(r.CellID, r.Report, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c] = resp
+	}
+
+	pooled := build()
+	defer pooled.Close()
+	outcomes := pooled.RunBAIRounds(reports, nil)
+	if len(outcomes) != cells {
+		t.Fatalf("got %d outcomes, want %d", len(outcomes), cells)
+	}
+	for i, o := range outcomes {
+		if o.CellID != reports[i].CellID {
+			t.Errorf("outcome %d is cell %d, want %d (index slotting broken)", i, o.CellID, reports[i].CellID)
+		}
+		if o.Err != nil {
+			t.Errorf("cell %d: %v", o.CellID, o.Err)
+			continue
+		}
+		if fmt.Sprintf("%+v", o.Resp) != fmt.Sprintf("%+v", want[i]) {
+			t.Errorf("cell %d diverged from sequential\n got: %+v\nwant: %+v", o.CellID, o.Resp, want[i])
+		}
+	}
+}
