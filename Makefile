@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results bench-quick bench-json bench-check bench-multicell-json bench-multicell-check bench-oneapi-json bench-oneapi-check profile trace-demo clean
+.PHONY: build test vet lint flarevet vuln fuzz-smoke tools race check results suite-quick bench-quick bench-json bench-check bench-multicell-json bench-multicell-check bench-oneapi-json bench-oneapi-check profile trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -121,6 +121,12 @@ trace-demo:
 # results regenerates the quick-scale experiment outputs in results/.
 results:
 	$(GO) run ./cmd/flarebench -scale quick -out results
+
+# suite-quick runs the whole scenario matrix at quick scale through the
+# flaresuite CLI, writing per-scenario traces/reports plus summary.json
+# under suite-out/. summary.json is byte-identical at any -workers.
+suite-quick:
+	$(GO) run ./cmd/flaresuite run -matrix -scale quick -out suite-out
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,78 @@
+// Package flaresuite is the declarative scenario harness: a registry of
+// named ScenarioSpecs (channel model x churn profile x fault profile x
+// scheme mix x ladder x cell count), a hivesim-style Suite/T API for
+// scenario bodies, and a matrix runner that expands axis cross-products
+// and fans scenarios out across cores with deterministic,
+// input-index-ordered result collection.
+//
+// The harness replaces hand-rolled experiment packages for workload
+// exploration: a new scenario is a ~20-line spec, not a new package.
+// Scenario axes compile into cellsim.Config via BuildConfig, scenario
+// bodies run against T (Fatalf/Errorf/Assert*, per-scenario artifacts,
+// JSONL traces via internal/obs), and a run emits a machine-readable
+// summary.json whose bytes are identical at any worker count.
+//
+// Layering: flaresuite drives the engine (cellsim) and reuses the
+// experiments package's report types for the migrated ext-* scenarios;
+// it never touches the OneAPI wire internals (oneapi, loadgen) — the
+// flarevet layering rules enforce both directions.
+package flaresuite
+
+import (
+	"time"
+
+	"github.com/flare-sim/flare/internal/experiments"
+)
+
+// Scale aliases the experiments scale so specs and the runner share one
+// sizing vocabulary (DurationFactor, Runs, Parallel).
+type Scale = experiments.Scale
+
+// QuickScale is the test/CI sizing (short durations, few runs).
+func QuickScale() Scale { return experiments.Quick() }
+
+// FullScale is the paper-scale sizing.
+func FullScale() Scale { return experiments.Full() }
+
+// ParseScale resolves the CLI scale names.
+func ParseScale(name string) (Scale, bool) {
+	switch name {
+	case "quick", "":
+		return QuickScale(), true
+	case "full":
+		return FullScale(), true
+	}
+	return Scale{}, false
+}
+
+// suiteSeed is the base seed for every scenario run: scenario runs are
+// deterministic while each (run, cell) pair gets an independent stream.
+const suiteSeed uint64 = 0x5417e_5eed
+
+// runSeed derives the seed for one (run, cell) pair.
+func runSeed(run, cell int) uint64 {
+	return suiteSeed + uint64(run)*0x9e37 + uint64(cell)*0x51de
+}
+
+// scaled shrinks a scenario duration by the scale's factor, clamped so
+// even tiny factors leave a run long enough to exercise the control
+// loop (matching the experiments package's floor).
+func scaled(d time.Duration, s Scale) time.Duration {
+	f := s.DurationFactor
+	if f <= 0 {
+		f = 1
+	}
+	out := time.Duration(float64(d) * f)
+	if out < 30*time.Second {
+		out = 30 * time.Second
+	}
+	return out
+}
+
+// normRuns returns the scale's run count, defaulting to 1.
+func normRuns(s Scale) int {
+	if s.Runs <= 0 {
+		return 1
+	}
+	return s.Runs
+}

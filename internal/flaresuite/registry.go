@@ -1,0 +1,78 @@
+package flaresuite
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+)
+
+// scenarioName constrains registered names to safe artifact-directory
+// and filter tokens.
+var scenarioName = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]*$`)
+
+// Registry holds named scenario specs, database/sql style: specs
+// self-register at init time (the builtin specs do, on importing this
+// package), duplicate or invalid registrations panic, and lookups are
+// by exact name.
+type Registry struct {
+	mu    sync.Mutex
+	specs map[string]ScenarioSpec
+	order []string
+}
+
+// NewRegistry returns an empty registry (tests use private ones; the
+// package-level Default carries the builtin specs).
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]ScenarioSpec)}
+}
+
+// Register adds a spec. It panics on a duplicate name, an invalid name,
+// or axes/matrix that do not validate — misregistering a scenario is a
+// programming error, surfaced at init like a duplicate sql driver.
+func (r *Registry) Register(s ScenarioSpec) {
+	if !scenarioName.MatchString(s.Name) {
+		panic(fmt.Sprintf("flaresuite: invalid scenario name %q", s.Name))
+	}
+	if err := s.Axes.Validate(); err != nil {
+		panic(fmt.Sprintf("flaresuite: scenario %q: %v", s.Name, err))
+	}
+	if _, _, err := s.Matrix.expand(s.Axes.withDefaults()); err != nil {
+		panic(fmt.Sprintf("flaresuite: scenario %q: %v", s.Name, err))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[s.Name]; dup {
+		panic(fmt.Sprintf("flaresuite: scenario %q registered twice", s.Name))
+	}
+	r.specs[s.Name] = s
+	r.order = append(r.order, s.Name)
+}
+
+// Specs returns every spec in registration order.
+func (r *Registry) Specs() []ScenarioSpec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ScenarioSpec, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.specs[name])
+	}
+	return out
+}
+
+// Lookup returns the spec with the given name.
+func (r *Registry) Lookup(name string) (ScenarioSpec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// defaultRegistry carries the builtin specs (registered by the specs
+// files' init functions).
+var defaultRegistry = NewRegistry()
+
+// Register adds a spec to the default registry.
+func Register(s ScenarioSpec) { defaultRegistry.Register(s) }
+
+// Default returns the default registry.
+func Default() *Registry { return defaultRegistry }

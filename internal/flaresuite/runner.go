@@ -1,0 +1,311 @@
+package flaresuite
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+
+	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/sim"
+)
+
+// SummarySchema versions the summary.json format.
+const SummarySchema = "flaresuite-summary/1"
+
+// Scenario statuses in summary.json.
+const (
+	StatusPass        = "pass"
+	StatusFail        = "fail"
+	StatusSkip        = "skip"        // never started (interrupted run)
+	StatusInterrupted = "interrupted" // started, cut short by the drain
+)
+
+// Options configures one matrix run.
+type Options struct {
+	// Scale names the sizing: "quick" (default) or "full".
+	Scale string
+	// Factor overrides the scale's duration factor when > 0.
+	Factor float64
+	// Runs overrides the scale's repetition count when > 0.
+	Runs int
+	// Workers bounds how many scenarios run concurrently (0 =
+	// GOMAXPROCS). The summary is byte-identical for every value:
+	// scenarios are dispatched in input order and collected into
+	// input-index slots.
+	Workers int
+	// OutDir, when set, receives per-scenario artifact directories plus
+	// summary.json; empty runs artifact-free.
+	OutDir string
+	// Expand runs every spec's full matrix cross-product instead of
+	// only its base point.
+	Expand bool
+	// Names, when non-empty, restricts the run to these spec names
+	// (unknown names are errors).
+	Names []string
+	// AxisFilter, when non-empty, keeps only instances whose applied
+	// axes match every key=value pair.
+	AxisFilter map[string]string
+}
+
+// ScenarioSummary is one scenario's machine-readable outcome.
+type ScenarioSummary struct {
+	Name      string             `json:"name"`
+	Axes      map[string]string  `json:"axes"`
+	Status    string             `json:"status"`
+	Failures  []string           `json:"failures,omitempty"`
+	Notes     []string           `json:"notes,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Artifacts []string           `json:"artifacts,omitempty"`
+}
+
+// Summary is a whole run's machine-readable outcome — the contract is
+// that its JSON encoding is identical at every worker count.
+type Summary struct {
+	Schema    string            `json:"schema"`
+	Scale     string            `json:"scale"`
+	Factor    float64           `json:"factor,omitempty"`
+	Runs      int               `json:"runs,omitempty"`
+	Passed    int               `json:"passed"`
+	Failed    int               `json:"failed"`
+	Skipped   int               `json:"skipped"`
+	Scenarios []ScenarioSummary `json:"scenarios"`
+}
+
+// JSON renders the summary in its canonical byte form.
+func (s *Summary) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("flaresuite: encode summary: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Table renders the human summary table.
+func (s *Summary) Table() string {
+	tbl := metrics.NewTable(fmt.Sprintf("flaresuite summary (scale %s)", s.Scale),
+		"status", "clients", "QoE", "rate Kbps", "stall s", "failures")
+	for _, sc := range s.Scenarios {
+		cell := func(name, format string) string {
+			v, ok := sc.Metrics[name]
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf(format, v)
+		}
+		tbl.AddRow(sc.Name, sc.Status,
+			cell("clients", "%.0f"), cell("qoe_mean", "%.0f"),
+			cell("rate_mean_kbps", "%.0f"), cell("stall_mean_s", "%.1f"),
+			fmt.Sprintf("%d", len(sc.Failures)))
+	}
+	return tbl.String()
+}
+
+// Ok reports whether every scenario passed (skips count as not-ok:
+// an interrupted matrix is not a green matrix).
+func (s *Summary) Ok() bool { return s.Failed == 0 && s.Skipped == 0 }
+
+// Expand resolves the registry's specs through the options' name
+// filter, matrix expansion, and axis filter, in registration order.
+func Expand(reg *Registry, opts Options) ([]Instance, error) {
+	specs := reg.Specs()
+	if len(opts.Names) > 0 {
+		byName := make(map[string]ScenarioSpec, len(specs))
+		for _, s := range specs {
+			byName[s.Name] = s
+		}
+		picked := make([]ScenarioSpec, 0, len(opts.Names))
+		for _, name := range opts.Names {
+			s, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("flaresuite: unknown scenario %q", name)
+			}
+			picked = append(picked, s)
+		}
+		specs = picked
+	}
+	var out []Instance
+	for _, s := range specs {
+		insts, err := s.Instances(opts.Expand)
+		if err != nil {
+			return nil, err
+		}
+		for _, inst := range insts {
+			if matchesAxes(inst.Axes, opts.AxisFilter) {
+				out = append(out, inst)
+			}
+		}
+	}
+	return out, nil
+}
+
+func matchesAxes(a Axes, filter map[string]string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	m := a.Map()
+	for k, v := range filter {
+		if m[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveScale applies the options' overrides to the named scale.
+func resolveScale(opts Options) (Scale, error) {
+	scale, ok := ParseScale(opts.Scale)
+	if !ok {
+		return Scale{}, fmt.Errorf("flaresuite: unknown scale %q (quick or full)", opts.Scale)
+	}
+	if opts.Factor > 0 {
+		scale.DurationFactor = opts.Factor
+	}
+	if opts.Runs > 0 {
+		scale.Runs = opts.Runs
+	}
+	return scale, nil
+}
+
+// matrixRunner adapts the instance loop to sim.WorkerPool: each worker
+// owns a contiguous index range and writes only its own slots, so the
+// collected summary order is the input order by construction.
+type matrixRunner struct {
+	ctx       context.Context
+	instances []Instance
+	scale     Scale
+	outDir    string
+	slots     []ScenarioSummary
+}
+
+// RunRange implements sim.RangeRunner.
+func (m *matrixRunner) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m.slots[i] = runInstance(m.ctx, m.instances[i], m.scale, m.outDir)
+	}
+}
+
+// Run expands the registry through opts and executes every instance,
+// fanning scenarios out across a bounded worker pool. Completed
+// scenarios flush their artifacts as they finish; when ctx is cancelled
+// (the graceful drain) instances not yet started are marked skipped,
+// in-flight ones finish or report interrupted, and the summary —
+// covering everything that did complete — is still written.
+func Run(ctx context.Context, reg *Registry, opts Options) (*Summary, error) {
+	scale, err := resolveScale(opts)
+	if err != nil {
+		return nil, err
+	}
+	instances, err := Expand(reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("flaresuite: no scenarios selected")
+	}
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return nil, fmt.Errorf("flaresuite: create %s: %w", opts.OutDir, err)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	m := &matrixRunner{
+		ctx:       ctx,
+		instances: instances,
+		scale:     scale,
+		outDir:    opts.OutDir,
+		slots:     make([]ScenarioSummary, len(instances)),
+	}
+	pool := sim.NewWorkerPool(workers)
+	pool.Do(len(instances), m)
+	pool.Close()
+
+	scaleName := opts.Scale
+	if scaleName == "" {
+		scaleName = "quick"
+	}
+	sum := &Summary{
+		Schema:    SummarySchema,
+		Scale:     scaleName,
+		Factor:    opts.Factor,
+		Runs:      opts.Runs,
+		Scenarios: m.slots,
+	}
+	for _, sc := range m.slots {
+		switch sc.Status {
+		case StatusPass:
+			sum.Passed++
+		case StatusSkip:
+			sum.Skipped++
+		default:
+			sum.Failed++
+		}
+	}
+	if opts.OutDir != "" {
+		b, err := sum.JSON()
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(opts.OutDir, "summary.json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return nil, fmt.Errorf("flaresuite: write %s: %w", path, err)
+		}
+	}
+	return sum, nil
+}
+
+// runInstance executes one scenario instance, converting Fatalf unwinds
+// and body panics into failures instead of crashing the matrix.
+func runInstance(ctx context.Context, inst Instance, scale Scale, outRoot string) ScenarioSummary {
+	t := &T{
+		name:  inst.Name,
+		spec:  inst.Spec,
+		axes:  inst.Axes,
+		scale: scale,
+		ctx:   ctx,
+	}
+	if ctx.Err() != nil {
+		// The drain began before this slot started: skip, don't run.
+		return t.finish(StatusSkip)
+	}
+	if outRoot != "" {
+		dir := filepath.Join(outRoot, inst.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Errorf("create artifact dir: %v", err)
+			return t.finish(StatusFail)
+		}
+		t.outDir = dir
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, expected := r.(failNow); !expected {
+					t.failed = true
+					t.failures = append(t.failures, fmt.Sprintf("panic: %v\n%s", r, debug.Stack()))
+				}
+			}
+		}()
+		body := inst.Spec.Run
+		if body == nil {
+			body = defaultBody
+		}
+		body(t)
+	}()
+	switch {
+	case t.failed && ctx.Err() != nil:
+		return t.finish(StatusInterrupted)
+	case t.failed:
+		return t.finish(StatusFail)
+	}
+	return t.finish(StatusPass)
+}

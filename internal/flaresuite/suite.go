@@ -1,0 +1,312 @@
+package flaresuite
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/flare-sim/flare/internal/cellsim"
+	"github.com/flare-sim/flare/internal/experiments"
+	"github.com/flare-sim/flare/internal/metrics"
+	"github.com/flare-sim/flare/internal/obs"
+)
+
+// ScenarioSpec is one declarative scenario: a name, one point in the
+// axis space, an optional matrix of axis sweeps, and an optional body.
+// A nil Run gets the default body: run the point and record the
+// standard QoE/rate/stall/fairness metrics.
+type ScenarioSpec struct {
+	// Name identifies the scenario (registry key, CLI filter token,
+	// artifact directory name).
+	Name string
+	// Description is the one-line intent shown by `flaresuite list`.
+	Description string
+	// Axes is the scenario's base point.
+	Axes Axes
+	// Matrix optionally sweeps axes; `flaresuite run -matrix` expands
+	// the cross-product into one instance per point.
+	Matrix Matrix
+	// Tune optionally adjusts the compiled config after BuildConfig —
+	// the escape hatch for knobs outside the axis taxonomy (alpha,
+	// admission control, buffer caps). It runs once per (run, cell).
+	Tune func(*cellsim.Config)
+	// Run is the scenario body. Nil uses the default body.
+	Run func(t *T)
+}
+
+// Instance is one runnable point of a spec: the spec itself with its
+// matrix coordinates applied.
+type Instance struct {
+	Spec ScenarioSpec
+	// Name is the spec name plus the matrix point suffix
+	// ("het-ladders@ladder=fine"); equal to Spec.Name off-matrix.
+	Name string
+	// Axes is the fully-applied point.
+	Axes Axes
+}
+
+// Instances expands the spec: the base point alone when expand is
+// false, the full matrix cross-product when true.
+func (s ScenarioSpec) Instances(expand bool) ([]Instance, error) {
+	base := s.Axes.withDefaults()
+	if !expand || len(s.Matrix) == 0 {
+		return []Instance{{Spec: s, Name: s.Name, Axes: base}}, nil
+	}
+	points, labels, err := s.Matrix.expand(base)
+	if err != nil {
+		return nil, fmt.Errorf("flaresuite: scenario %q: %w", s.Name, err)
+	}
+	out := make([]Instance, len(points))
+	for i := range points {
+		name := s.Name
+		if labels[i] != "" {
+			name += "@" + labels[i]
+		}
+		out[i] = Instance{Spec: s, Name: name, Axes: points[i]}
+	}
+	return out, nil
+}
+
+// failNow is the Fatalf unwind sentinel, recovered by the runner.
+type failNow struct{}
+
+// T is a running scenario, handed to spec bodies — a testing.T-shaped
+// surface (Fatalf/Errorf/Logf/Assert*) plus the harness hooks: the
+// compiled axes, seeded engine runs, per-scenario artifacts, and the
+// metrics/notes that land in summary.json.
+type T struct {
+	name  string
+	spec  ScenarioSpec
+	axes  Axes
+	scale Scale
+	ctx   context.Context
+
+	outDir string // per-scenario artifact directory; "" disables artifacts
+
+	failed    bool
+	failures  []string
+	logs      []string
+	notes     []string
+	metricsM  map[string]float64
+	artifacts []string
+}
+
+// Name returns the instance name (matrix suffix included).
+func (t *T) Name() string { return t.name }
+
+// Axes returns the instance's fully-applied axis point.
+func (t *T) Axes() Axes { return t.axes }
+
+// Scale returns the run's scale.
+func (t *T) Scale() Scale { return t.scale }
+
+// Logf records a log line (artifact log only; not in summary.json).
+func (t *T) Logf(format string, args ...any) {
+	t.logs = append(t.logs, fmt.Sprintf(format, args...))
+}
+
+// Notef records a headline note, surfaced in summary.json and the
+// summary table.
+func (t *T) Notef(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Errorf records a failure and keeps the body running.
+func (t *T) Errorf(format string, args ...any) {
+	t.failed = true
+	t.failures = append(t.failures, fmt.Sprintf(format, args...))
+}
+
+// Fatalf records a failure and stops the body immediately.
+func (t *T) Fatalf(format string, args ...any) {
+	t.Errorf(format, args...)
+	t.FailNow()
+}
+
+// FailNow stops the body immediately (the runner recovers the unwind).
+func (t *T) FailNow() {
+	t.failed = true
+	panic(failNow{})
+}
+
+// Failed reports whether the scenario has recorded any failure.
+func (t *T) Failed() bool { return t.failed }
+
+// AssertTrue records a failure unless cond holds.
+func (t *T) AssertTrue(cond bool, format string, args ...any) {
+	if !cond {
+		t.Errorf(format, args...)
+	}
+}
+
+// AssertInRange records a failure unless lo <= v <= hi.
+func (t *T) AssertInRange(what string, v, lo, hi float64) {
+	if v < lo || v > hi {
+		t.Errorf("%s = %v, want within [%v, %v]", what, v, lo, hi)
+	}
+}
+
+// Metric records one named number into summary.json.
+func (t *T) Metric(name string, v float64) {
+	if t.metricsM == nil {
+		t.metricsM = make(map[string]float64)
+	}
+	t.metricsM[name] = v
+}
+
+// Config compiles the instance's axes (plus the spec's Tune hook) into
+// one cell's configuration. Seed is left zero; RunPoint assigns it.
+func (t *T) Config() (cellsim.Config, error) {
+	cfg, err := BuildConfig(t.axes, t.scale)
+	if err != nil {
+		return cellsim.Config{}, err
+	}
+	if t.spec.Tune != nil {
+		t.spec.Tune(&cfg)
+	}
+	return cfg, nil
+}
+
+// RunPoint executes the instance's point: Scale().Runs seeded
+// repetitions of Axes().Cells independent cells each, in input order,
+// and returns the per-cell results flattened run-major. The first
+// (run 0, cell 0) execution records a JSONL telemetry trace into the
+// scenario's artifact directory when one is attached — recording is
+// proven not to perturb results (PR 4), so traced and untraced runs
+// report identical outcomes.
+func (t *T) RunPoint() ([]*cellsim.Result, error) {
+	cfg, err := t.Config()
+	if err != nil {
+		return nil, err
+	}
+	runs := normRuns(t.scale)
+	cells := t.axes.withDefaults().Cells
+	out := make([]*cellsim.Result, 0, runs*cells)
+	for run := 0; run < runs; run++ {
+		for cell := 0; cell < cells; cell++ {
+			if err := t.ctx.Err(); err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Seed = runSeed(run, cell)
+			var sink *obs.JSONLSink
+			if run == 0 && cell == 0 && t.outDir != "" {
+				path := filepath.Join(t.outDir, "trace.jsonl")
+				if sink, err = obs.CreateJSONLFile(path); err != nil {
+					return nil, fmt.Errorf("flaresuite: %s: %w", t.name, err)
+				}
+				c.Obs = obs.New(obs.Options{Sinks: []obs.Sink{sink}})
+				t.artifact("trace.jsonl")
+			}
+			res, err := cellsim.RunContext(t.ctx, c)
+			if sink != nil {
+				if cerr := c.Obs.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("flaresuite: %s: run %d cell %d: %w", t.name, run, cell, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// MustRunPoint is RunPoint, failing the scenario on error.
+func (t *T) MustRunPoint() []*cellsim.Result {
+	results, err := t.RunPoint()
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return results
+}
+
+// MustReport bridges a migrated experiment into the harness: it runs
+// the experiment at the scenario's scale, attaches its tables and plot
+// series as artifacts (<id>.txt / <id>.csv, byte-identical to the
+// committed results/ outputs at the same scale), forwards its notes,
+// and fails the scenario on error.
+func (t *T) MustReport(run func(Scale) (*experiments.Report, error)) *experiments.Report {
+	rep, err := run(t.scale)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	t.notes = append(t.notes, rep.Notes...)
+	if t.outDir != "" {
+		if err := rep.WriteFiles(t.outDir); err != nil {
+			t.Fatalf("%v", err)
+		}
+		t.artifact(rep.ID + ".txt")
+		if len(rep.Series) > 0 {
+			t.artifact(rep.ID + ".csv")
+		}
+	}
+	return rep
+}
+
+// RecordStandard pools the standard per-client metrics across results
+// into summary.json: mean QoE, mean encoding rate, mean stall seconds,
+// Jain fairness of delivered throughput, and population counts.
+func (t *T) RecordStandard(results []*cellsim.Result) {
+	var qoes, rates, stalls, tputs []float64
+	segments := 0
+	for _, r := range results {
+		for _, c := range r.Clients {
+			qoes = append(qoes, c.QoEScore)
+			rates = append(rates, c.AvgRateBps)
+			stalls = append(stalls, c.StallSeconds)
+			tputs = append(tputs, c.AvgTputBps)
+			segments += c.Segments
+		}
+	}
+	t.Metric("clients", float64(len(qoes)))
+	t.Metric("segments", float64(segments))
+	t.Metric("qoe_mean", metrics.Mean(qoes))
+	t.Metric("rate_mean_kbps", metrics.Mean(rates)/1000)
+	t.Metric("stall_mean_s", metrics.Mean(stalls))
+	t.Metric("jain_tput", metrics.JainIndex(tputs))
+}
+
+// artifact records one relative artifact path for summary.json.
+func (t *T) artifact(rel string) {
+	t.artifacts = append(t.artifacts, rel)
+}
+
+// defaultBody is the body used when a spec declares no Run: execute the
+// point and record the standard metrics.
+func defaultBody(t *T) {
+	t.RecordStandard(t.MustRunPoint())
+}
+
+// finish flushes the scenario log artifact and returns the summary
+// entry. Artifact paths are sorted for a stable summary.
+func (t *T) finish(status string) ScenarioSummary {
+	if t.outDir != "" && (len(t.logs) > 0 || len(t.failures) > 0) {
+		var b []byte
+		for _, l := range t.logs {
+			b = append(b, l...)
+			b = append(b, '\n')
+		}
+		for _, f := range t.failures {
+			b = append(b, "FAIL: "...)
+			b = append(b, f...)
+			b = append(b, '\n')
+		}
+		if err := os.WriteFile(filepath.Join(t.outDir, "log.txt"), b, 0o644); err == nil {
+			t.artifact("log.txt")
+		}
+	}
+	sort.Strings(t.artifacts)
+	return ScenarioSummary{
+		Name:      t.name,
+		Axes:      t.axes.Map(),
+		Status:    status,
+		Failures:  t.failures,
+		Notes:     t.notes,
+		Metrics:   t.metricsM,
+		Artifacts: t.artifacts,
+	}
+}

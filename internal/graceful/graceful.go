@@ -19,6 +19,21 @@ import (
 // DefaultGrace bounds the drain when callers pass grace <= 0.
 const DefaultGrace = 5 * time.Second
 
+// NotifyContext returns a context cancelled on the first SIGINT or
+// SIGTERM — the drain signal for non-HTTP binaries (flaresuite's matrix
+// runner stops admitting new scenarios and flushes completed-scenario
+// artifacts). Signal handling is restored to the Go default as soon as
+// the context is done, so a second signal kills the process, matching
+// Serve's two-signal contract.
+func NotifyContext(parent context.Context) context.Context {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx
+}
+
 // Serve runs srv until it fails or the process receives SIGINT or
 // SIGTERM, then shuts it down gracefully, allowing in-flight requests
 // up to grace to complete. logf (optional) receives one message when

@@ -1,6 +1,7 @@
 package graceful_test
 
 import (
+	"context"
 	"net/http"
 	"syscall"
 	"testing"
@@ -8,6 +9,28 @@ import (
 
 	"github.com/flare-sim/flare/internal/graceful"
 )
+
+// TestNotifyContextCancelsOnSignal pins the non-HTTP drain path: the
+// first SIGTERM cancels the returned context (flaresuite's cue to stop
+// admitting scenarios) instead of killing the process.
+func TestNotifyContextCancelsOnSignal(t *testing.T) {
+	ctx := graceful.NotifyContext(context.Background())
+
+	// Give NotifyContext's handler time to install; before that a
+	// SIGTERM would kill the test binary outright.
+	time.Sleep(200 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after SIGTERM")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
 
 // TestServeStopsOnSignal starts a server, delivers SIGTERM to the test
 // process, and asserts Serve drains and returns nil promptly.

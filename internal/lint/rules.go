@@ -136,6 +136,28 @@ var LayerRules = []LayerRule{
 		Except: []string{internalPrefix + "loadgen", internalPrefix + "oneapi", internalPrefix + "core", internalPrefix + "has", internalPrefix + "obs"},
 		Reason: "the load driver speaks to the control plane over its wire client only; importing cellsim would entangle load generation with the engine",
 	},
+	{
+		Scope:  internalPrefix + "flaresuite",
+		Forbid: []string{ModulePath},
+		Except: []string{
+			internalPrefix + "flaresuite",
+			internalPrefix + "cellsim", internalPrefix + "experiments",
+			internalPrefix + "faults", internalPrefix + "has",
+			internalPrefix + "lte", internalPrefix + "metrics",
+			internalPrefix + "obs", internalPrefix + "sim",
+		},
+		Reason: "the scenario harness compiles axes to engine configs and wraps experiment reports; it must never see oneapi wire internals or the load driver",
+	},
+	{
+		Scope:  ModulePath + "/cmd/flaresuite",
+		Forbid: []string{ModulePath},
+		Except: []string{
+			ModulePath + "/cmd/flaresuite",
+			internalPrefix + "flaresuite",
+			internalPrefix + "buildinfo", internalPrefix + "graceful",
+		},
+		Reason: "the suite CLI is flag parsing over the flaresuite API (plus -version and signal drain); engine or experiment imports belong behind the harness",
+	},
 }
 
 // pathMatches reports whether path is pattern or inside its subtree.

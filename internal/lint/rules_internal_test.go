@@ -21,6 +21,10 @@ func TestLayerRulesTable(t *testing.T) {
 		{ModulePath + "/internal/oneapi", ModulePath + "/internal/loadgen", true},
 		{ModulePath + "/internal/loadgen", ModulePath + "/internal/cellsim", true},
 		{ModulePath + "/internal/loadgen", ModulePath + "/internal/sim", true},
+		{ModulePath + "/internal/flaresuite", ModulePath + "/internal/oneapi", true},
+		{ModulePath + "/internal/flaresuite", ModulePath + "/internal/loadgen", true},
+		{ModulePath + "/cmd/flaresuite", ModulePath + "/internal/cellsim", true},
+		{ModulePath + "/cmd/flaresuite", ModulePath + "/internal/experiments", true},
 		{ModulePath + "/internal/core", ModulePath + "/internal/obs", false},
 		{ModulePath + "/internal/oneapi", ModulePath + "/internal/sim", false},
 		{ModulePath + "/internal/oneapi", ModulePath + "/internal/obs", false},
@@ -29,6 +33,12 @@ func TestLayerRulesTable(t *testing.T) {
 		{ModulePath + "/internal/cellsim/driver", ModulePath + "/internal/cellsim/driver/sub", false},
 		{ModulePath + "/internal/lte", ModulePath + "/internal/sim", false},
 		{ModulePath + "/internal/has", ModulePath + "/internal/transport", false},
+		{ModulePath + "/internal/flaresuite", ModulePath + "/internal/cellsim", false},
+		{ModulePath + "/internal/flaresuite", ModulePath + "/internal/experiments", false},
+		{ModulePath + "/internal/flaresuite", ModulePath + "/internal/obs", false},
+		{ModulePath + "/cmd/flaresuite", ModulePath + "/internal/flaresuite", false},
+		{ModulePath + "/cmd/flaresuite", ModulePath + "/internal/buildinfo", false},
+		{ModulePath + "/cmd/flaresuite", ModulePath + "/internal/graceful", false},
 	}
 	for _, c := range cases {
 		got := false
@@ -55,6 +65,7 @@ func TestIsSimClock(t *testing.T) {
 		ModulePath + "/internal/transport":      true,
 		ModulePath + "/internal/has":            true,
 		ModulePath + "/internal/oneapi":         false,
+		ModulePath + "/internal/flaresuite":     false,
 		ModulePath + "/internal/obs":            false,
 		ModulePath + "/internal/hasty":          false, // prefix, not subtree
 		ModulePath + "/cmd/cellsim":             false,
