@@ -57,6 +57,7 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzGateApply -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzAdmission -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
+	$(GO) test ./internal/lint -run '^$$' -fuzz FuzzDirective -fuzztime 10s
 
 race:
 	$(GO) test -race ./...

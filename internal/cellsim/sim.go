@@ -584,6 +584,7 @@ func (s *Sim) RunContext(ctx context.Context) (*Result, error) {
 func (s *Sim) runHooks(tti, sampleTTIs int64) error {
 	for _, g := range s.groups {
 		if g.tickTTIs > 0 && tti > 0 && tti%g.tickTTIs == 0 {
+			//flare:allow hotpath frontier: driver.Controller impls own their per-BAI budget (pre-bound callbacks, per-BAI scratch — PR 7); the flarebench simsec/sec and allocs/op gates cover them
 			if err := g.ctrl.OnBAI(time.Duration(tti) * sim.TTI); err != nil {
 				return err
 			}
@@ -609,6 +610,7 @@ func (s *Sim) runNaive(ctx context.Context, durTTIs, sampleTTIs int64) error {
 		// cancellation, so which cells of a multi-cell run reach an
 		// early failure of their own (vs. a sibling's cancel) is a
 		// deterministic fact, not a goroutine race. See runMany.
+		//flare:allow hotpath frontier: context.Context.Err returns a cached sentinel without allocating in every stdlib implementation
 		if tti&0x3ff == 0 && tti != 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -648,6 +650,7 @@ func (s *Sim) runFast(ctx context.Context, durTTIs, sampleTTIs int64) error {
 		// Same cancellation-poll points as runNaive (multiples of 1024,
 		// never TTI 0) so both loops observe a cancel at the same TTI —
 		// see the runNaive comment for why TTI 0 is excluded.
+		//flare:allow hotpath frontier: context.Context.Err returns a cached sentinel without allocating in every stdlib implementation
 		if tti&0x3ff == 0 && tti != 0 && ctx.Err() != nil {
 			return ctx.Err()
 		}

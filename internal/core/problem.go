@@ -156,6 +156,7 @@ func (p *Problem) objective() Objective {
 // keep-previous-level stickiness bonus.
 func (p *Problem) UtilityAt(u, level int) float64 {
 	f := &p.Flows[u]
+	//flare:allow hotpath frontier: Objective impls (Eq. 2/3 and utility-PF) are pure float arithmetic; the MCKP allocs/op benchmark gate covers the whole solve
 	util := p.objective().Utility(f.Beta, f.ThetaBps, f.Ladder.Rate(level))
 	if p.StickinessBonus > 0 && level == f.PrevLevel {
 		util += p.StickinessBonus

@@ -10,7 +10,6 @@ package has
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Ladder is an ascending list of available video bitrates in bits/s —
@@ -89,13 +88,25 @@ func (l Ladder) Clamp(i int) int {
 
 // HighestAtMost returns the index of the highest rate <= bps, or 0 when
 // every rate exceeds bps (a player must always pick something).
+//
+// The binary search is written out rather than using sort.Search: the
+// closure sort.Search takes escapes to the heap, and this sits inside
+// the MCKP solve (core.VideoFlow.MaxLevel) on the //flare:hotpath.
 func (l Ladder) HighestAtMost(bps float64) int {
-	// First index with rate > bps.
-	i := sort.Search(len(l), func(i int) bool { return l[i] > bps })
-	if i == 0 {
+	// Find the first index with rate > bps.
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid] > bps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return 0
 	}
-	return i - 1
+	return lo - 1
 }
 
 // Min returns the lowest rate.

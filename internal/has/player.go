@@ -200,6 +200,7 @@ func (p *Player) Start() {
 
 // State snapshots the adapter-visible player state at the current time.
 func (p *Player) State() State {
+	//flare:allow hotpath frontier: the transport.Env impls (cellsim env, flowEnv) read the sim clock field without allocating; the engine allocs/op gate covers them
 	now := p.env.NowTTI()
 	p.advance(now)
 	return State{
@@ -214,6 +215,7 @@ func (p *Player) State() State {
 
 // BufferSeconds returns the current playout buffer level.
 func (p *Player) BufferSeconds() float64 {
+	//flare:allow hotpath frontier: the transport.Env impls (cellsim env, flowEnv) read the sim clock field without allocating; the engine allocs/op gate covers them
 	p.advance(p.env.NowTTI())
 	return p.buffer
 }

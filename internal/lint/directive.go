@@ -4,13 +4,16 @@
 //	    Suppresses any flarevet finding on the same line or on the
 //	    line directly below the directive. The reason is mandatory:
 //	    a bare //flare:allow is itself a finding. Reasons are free
-//	    text; write why the invariant is safe to waive HERE.
+//	    text; write why the invariant is safe to waive HERE. A
+//	    directive that suppresses nothing is also a finding (a stale
+//	    waiver), so the audit trail cannot rot.
 //
 //	//flare:hotpath [note]
 //	    Marks a function declaration as allocation-sensitive; the
 //	    hotpath analyzer then forbids capturing closures, fmt
 //	    printing, string concatenation in loops, and defer inside
-//	    it. The directive must appear in a function's doc comment.
+//	    it and everything reachable from it. The directive must
+//	    appear in a function's doc comment.
 //
 // Both are ordinary line comments, invisible to the compiler: adding or
 // removing them cannot change behaviour, goldens, or benchmarks.
@@ -27,26 +30,99 @@ const (
 	hotpathPrefix = "//flare:hotpath"
 )
 
+// DirectiveKind classifies a parsed flare directive.
+type DirectiveKind int
+
+const (
+	// DirectiveNone means the comment is not a flare directive.
+	DirectiveNone DirectiveKind = iota
+	// DirectiveAllow is //flare:allow <reason>.
+	DirectiveAllow
+	// DirectiveHotpath is //flare:hotpath [note].
+	DirectiveHotpath
+)
+
+// ParseDirective parses one comment's raw text (as go/ast stores it,
+// leading "//" included). kind is DirectiveNone when the comment is not
+// a flare directive. For allow directives, reason is the trimmed reason
+// text and malformed reports the grammar violation a bare
+// "//flare:allow" commits: the reason is mandatory and must be
+// separated from the keyword by a space.
+//
+// This is the single implementation the runner, the stale-waiver check,
+// and FuzzDirective all share.
+func ParseDirective(text string) (kind DirectiveKind, reason string, malformed bool) {
+	switch {
+	case strings.HasPrefix(text, allowPrefix):
+		rest := strings.TrimPrefix(text, allowPrefix)
+		reason = strings.TrimSpace(rest)
+		if reason == "" || !strings.HasPrefix(rest, " ") {
+			return DirectiveAllow, "", true
+		}
+		return DirectiveAllow, reason, false
+	case strings.HasPrefix(text, hotpathPrefix):
+		return DirectiveHotpath, "", false
+	}
+	return DirectiveNone, "", false
+}
+
+// FormatAllow renders a well-formed allow directive for reason. It is
+// the inverse of ParseDirective for reasons that are already trimmed
+// and newline-free (FuzzDirective pins the round-trip).
+func FormatAllow(reason string) string {
+	return allowPrefix + " " + reason
+}
+
+// allowSite is one well-formed //flare:allow directive, with the
+// consumption bit the stale-waiver check reads.
+type allowSite struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
 // directives is the per-package directive index built by the runner.
 type directives struct {
-	// allowLines maps filename -> set of lines carrying a well-formed
-	// (reasoned) allow directive.
-	allowLines map[string]map[int]bool
+	// allowLines maps filename -> line -> the reasoned allow directive
+	// anchored there.
+	allowLines map[string]map[int]*allowSite
 	// malformed collects directive-grammar findings.
 	malformed []Diagnostic
 }
 
-// allows reports whether a diagnostic at pos is suppressed: a reasoned
-// allow sits on the same line (trailing comment) or the line above.
-func (d *directives) allows(pos token.Position) bool {
+// siteFor returns the allow directive covering pos (same line, or the
+// line directly above), or nil.
+func (d *directives) siteFor(pos token.Position) *allowSite {
 	lines := d.allowLines[pos.Filename]
-	return lines[pos.Line] || lines[pos.Line-1]
+	if s := lines[pos.Line]; s != nil {
+		return s
+	}
+	return lines[pos.Line-1]
+}
+
+// allows reports whether a diagnostic at pos is suppressed, marking the
+// directive as consumed.
+func (d *directives) allows(pos token.Position) bool {
+	if s := d.siteFor(pos); s != nil {
+		s.used = true
+		return true
+	}
+	return false
+}
+
+// waivedAt reports whether pos is covered by a reasoned allow WITHOUT
+// consuming it. Analyzers that use a waiver as a scope marker (slotwrite
+// keys its worker-goroutine discipline off the determinism waiver on a
+// go statement) must not count as the suppression that keeps the
+// directive alive.
+func (d *directives) waivedAt(pos token.Position) bool {
+	return d.siteFor(pos) != nil
 }
 
 // collectDirectives scans every comment in the package for flare
 // directives, validating their grammar.
 func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
-	d := &directives{allowLines: make(map[string]map[int]bool)}
+	d := &directives{allowLines: make(map[string]map[int]*allowSite)}
 	for _, f := range files {
 		// Function doc comments are the only legal home for
 		// //flare:hotpath; remember them so strays can be reported.
@@ -58,12 +134,11 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				switch {
-				case strings.HasPrefix(c.Text, allowPrefix):
-					rest := strings.TrimPrefix(c.Text, allowPrefix)
-					reason := strings.TrimSpace(rest)
+				kind, reason, malformed := ParseDirective(c.Text)
+				switch kind {
+				case DirectiveAllow:
 					pos := fset.Position(c.Pos())
-					if reason == "" || !strings.HasPrefix(rest, " ") {
+					if malformed {
 						d.malformed = append(d.malformed, Diagnostic{
 							Pos:      pos,
 							Analyzer: "directive",
@@ -73,11 +148,11 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
 					}
 					lines := d.allowLines[pos.Filename]
 					if lines == nil {
-						lines = make(map[int]bool)
+						lines = make(map[int]*allowSite)
 						d.allowLines[pos.Filename] = lines
 					}
-					lines[pos.Line] = true
-				case strings.HasPrefix(c.Text, hotpathPrefix):
+					lines[pos.Line] = &allowSite{pos: pos, reason: reason}
+				case DirectiveHotpath:
 					if !funcDocs[cg] {
 						d.malformed = append(d.malformed, Diagnostic{
 							Pos:      fset.Position(c.Pos()),
@@ -99,7 +174,7 @@ func hasHotpathDirective(doc *ast.CommentGroup) bool {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.HasPrefix(c.Text, hotpathPrefix) {
+		if kind, _, _ := ParseDirective(c.Text); kind == DirectiveHotpath {
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -17,69 +18,255 @@ import (
 //     this reason),
 //   - fmt printing (reflection, interface boxing, and an implicit
 //     []any allocation per call),
-//   - string concatenation inside loops (quadratic garbage), or
+//   - string concatenation inside loops (quadratic garbage),
+//   - map/slice composite literals inside loops (one heap allocation
+//     per iteration), or
 //   - defer (per-call bookkeeping, and it hides work at exit).
+//
+// v2 makes the budget transitive: every function in every analyzed
+// package gets an allocation summary (a cross-package fact), and each
+// annotated root walks its static call closure, reporting a callee's
+// allocation at the callee's site even when the root itself stays
+// clean. Interface calls are the closure's frontier: the dynamic
+// callee is unknowable, so the call itself is reported as opaque
+// unless a reasoned //flare:allow on the call site vouches for the
+// implementations. Func-value calls (pre-bound callbacks, the
+// scheduler's filter argument) are deliberately silent — binding them
+// is the tree's standard de-allocation move and their targets are
+// still summarized wherever they are declared.
 //
 // The benchmark gates catch regressions after the fact on covered
 // configs; this analyzer rejects the construct at review time on every
 // config.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
-	Doc: "forbids capturing closures, fmt printing, in-loop string concatenation, and defer " +
-		"inside functions annotated //flare:hotpath",
+	Doc: "forbids capturing closures, fmt printing, in-loop string concatenation and map/slice " +
+		"literals, and defer inside functions annotated //flare:hotpath and everything " +
+		"statically reachable from them; interface calls on that closure are reported as " +
+		"opaque unless waived",
 	Run: runHotpath,
 }
 
+// hotKind is the allocation-site taxonomy.
+type hotKind int
+
+const (
+	hotDefer hotKind = iota
+	hotClosure
+	hotFmt
+	hotConcat
+	hotLit
+	hotIface
+)
+
+// hotSite is one allocation (or opacity) site inside a function.
+type hotSite struct {
+	pos    token.Pos
+	kind   hotKind
+	detail string // captures list, fmt verb, literal kind, interface method
+}
+
+// hotCall is one statically resolved call edge.
+type hotCall struct {
+	callee *types.Func
+}
+
+// hotSummary is the per-function fact the fact store carries across
+// packages.
+type hotSummary struct {
+	name  string // display name, receiver included, package-local
+	pkg   *types.Package
+	hot   bool
+	sites []hotSite
+	calls []hotCall
+}
+
 func runHotpath(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hasHotpathDirective(fd.Doc) {
-				continue
-			}
-			checkHotpathFunc(pass, fd)
+	g := buildCallGraph(pass)
+
+	// Summarize every function (the fact), hot or not.
+	var roots []*hotSummary
+	for _, fd := range g.decls {
+		fn := g.funcOf[fd]
+		sum := summarizeHot(pass, fd, fn)
+		pass.store.summaries[fn] = sum
+		if sum.hot {
+			roots = append(roots, sum)
 		}
+	}
+
+	// Each annotated root reports over its static call closure.
+	for _, root := range roots {
+		visited := map[*hotSummary]bool{root: true}
+		reportHot(pass, root, root, nil, visited)
 	}
 }
 
-func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
+// reportHot emits sum's sites (path is the call chain from root,
+// excluding both endpoints' duplication: nil at the root itself) and
+// recurses into summarized callees.
+func reportHot(pass *Pass, root, sum *hotSummary, path []string, visited map[*hotSummary]bool) {
+	for _, site := range sum.sites {
+		if !pass.store.claimReport("hotpath", pass.Fset.Position(site.pos)) {
+			continue
+		}
+		pass.Reportf(site.pos, "%s", renderHot(pass, root, sum, site, path))
+	}
+	for _, call := range sum.calls {
+		callee := pass.store.summaries[call.callee]
+		if callee == nil || visited[callee] {
+			continue
+		}
+		visited[callee] = true
+		sub := make([]string, 0, len(path)+1)
+		sub = append(append(sub, path...), displayName(pass, callee))
+		reportHot(pass, root, callee, sub, visited)
+	}
+}
+
+// renderHot formats one finding. Root-level sites keep the v1 message
+// shapes; transitive sites name the containing function and the chain
+// from the annotated root.
+func renderHot(pass *Pass, root, sum *hotSummary, site hotSite, path []string) string {
+	if len(path) == 0 {
+		switch site.kind {
+		case hotDefer:
+			return fmt.Sprintf("defer in //flare:hotpath function %s", sum.name)
+		case hotClosure:
+			return fmt.Sprintf("capturing closure in //flare:hotpath function %s (captures %s); hoist it or use a method value",
+				sum.name, site.detail)
+		case hotFmt:
+			return fmt.Sprintf("fmt.%s in //flare:hotpath function %s", site.detail, sum.name)
+		case hotConcat:
+			return fmt.Sprintf("string concatenation in loop in //flare:hotpath function %s; use a reused []byte buffer", sum.name)
+		case hotLit:
+			return fmt.Sprintf("%s literal in loop in //flare:hotpath function %s allocates per iteration; hoist it or reuse a buffer",
+				site.detail, sum.name)
+		case hotIface:
+			return fmt.Sprintf("opaque interface call %s in //flare:hotpath function %s: the allocation budget cannot follow it; waive with //flare:allow <reason> naming the implementations, or devirtualize",
+				site.detail, sum.name)
+		}
+	}
+	via := strings.Join(path, " -> ")
+	where := displayName(pass, sum)
+	rootName := root.name
+	switch site.kind {
+	case hotDefer:
+		return fmt.Sprintf("defer in %s, reachable from //flare:hotpath function %s via %s", where, rootName, via)
+	case hotClosure:
+		return fmt.Sprintf("capturing closure in %s (captures %s), reachable from //flare:hotpath function %s via %s; hoist it or use a method value",
+			where, site.detail, rootName, via)
+	case hotFmt:
+		return fmt.Sprintf("fmt.%s in %s, reachable from //flare:hotpath function %s via %s", site.detail, where, rootName, via)
+	case hotConcat:
+		return fmt.Sprintf("string concatenation in loop in %s, reachable from //flare:hotpath function %s via %s; use a reused []byte buffer",
+			where, rootName, via)
+	case hotLit:
+		return fmt.Sprintf("%s literal in loop in %s allocates per iteration, reachable from //flare:hotpath function %s via %s",
+			site.detail, where, rootName, via)
+	case hotIface:
+		return fmt.Sprintf("opaque interface call %s in %s, reachable from //flare:hotpath function %s via %s: waive with //flare:allow <reason> or devirtualize",
+			site.detail, where, rootName, via)
+	}
+	return ""
+}
+
+// displayName qualifies a summary's name with its package when viewed
+// from another package's pass.
+func displayName(pass *Pass, sum *hotSummary) string {
+	if sum.pkg != nil && sum.pkg != pass.Pkg {
+		return sum.pkg.Name() + "." + sum.name
+	}
+	return sum.name
+}
+
+// summarizeHot walks one function body, recording allocation sites,
+// opaque interface calls (deduped per method), and static call edges.
+func summarizeHot(pass *Pass, fd *ast.FuncDecl, fn *types.Func) *hotSummary {
+	sum := &hotSummary{
+		name: funcDisplayName(pass, fd, fn),
+		pkg:  pass.Pkg,
+		hot:  hasHotpathDirective(fd.Doc),
+	}
+	seenIface := map[string]bool{}
+	seenCall := map[*types.Func]bool{}
 	var walk func(n ast.Node, inLoop bool)
 	walk = func(n ast.Node, inLoop bool) {
 		switch n := n.(type) {
 		case nil:
 			return
 		case *ast.DeferStmt:
-			pass.Reportf(n.Pos(), "defer in //flare:hotpath function %s", name)
+			sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotDefer})
 		case *ast.ForStmt, *ast.RangeStmt:
 			// Everything under a loop header or body runs per
-			// iteration for concat-accounting purposes.
+			// iteration for allocation-accounting purposes.
 			walkChildren(n, func(c ast.Node) { walk(c, true) })
 			return
 		case *ast.FuncLit:
 			if caps := captures(pass, fd, n); len(caps) > 0 {
-				pass.Reportf(n.Pos(), "capturing closure in //flare:hotpath function %s (captures %s); hoist it or use a method value",
-					name, strings.Join(caps, ", "))
+				sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotClosure, detail: strings.Join(caps, ", ")})
+			}
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); inLoop && t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotLit, detail: "map"})
+				case *types.Slice:
+					sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotLit, detail: "slice"})
+				}
 			}
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
-					fn.Pkg().Path() == "fmt" && strings.Contains(strings.ToLower(fn.Name()), "print") {
-					pass.Reportf(n.Pos(), "fmt.%s in //flare:hotpath function %s", fn.Name(), name)
+			callee, kind := classifyCall(pass.Info, n)
+			switch kind {
+			case callStatic:
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" &&
+					strings.Contains(strings.ToLower(callee.Name()), "print") {
+					sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotFmt, detail: callee.Name()})
+				} else if !seenCall[callee] {
+					seenCall[callee] = true
+					sum.calls = append(sum.calls, hotCall{callee: callee})
+				}
+			case callInterface:
+				detail := ifaceCallName(pass, n, callee)
+				if !seenIface[detail] {
+					seenIface[detail] = true
+					sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotIface, detail: detail})
 				}
 			}
 		case *ast.BinaryExpr:
 			if inLoop && n.Op == token.ADD && isString(pass, n.X) {
-				pass.Reportf(n.Pos(), "string concatenation in loop in //flare:hotpath function %s; use a reused []byte buffer", name)
+				sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotConcat})
 			}
 		case *ast.AssignStmt:
 			if inLoop && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
-				pass.Reportf(n.Pos(), "string concatenation in loop in //flare:hotpath function %s; use a reused []byte buffer", name)
+				sum.sites = append(sum.sites, hotSite{pos: n.Pos(), kind: hotConcat})
 			}
 		}
 		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
 	}
 	walk(fd.Body, false)
+	return sum
+}
+
+// funcDisplayName renders "tick" or "(*Sim).runFast".
+func funcDisplayName(pass *Pass, fd *ast.FuncDecl, fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fd.Name.Name
+	}
+	recv := types.TypeString(sig.Recv().Type(), types.RelativeTo(pass.Pkg))
+	return fmt.Sprintf("(%s).%s", recv, fd.Name.Name)
+}
+
+// ifaceCallName renders the interface call as the receiver's static
+// type plus the method: "context.Context.Err", "driver.Controller.OnBAI".
+func ifaceCallName(pass *Pass, call *ast.CallExpr, fn *types.Func) string {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := pass.Info.TypeOf(sel.X); t != nil {
+			return types.TypeString(t, func(p *types.Package) string { return p.Name() }) + "." + fn.Name()
+		}
+	}
+	return fn.Name()
 }
 
 // walkChildren visits n's immediate children once each.

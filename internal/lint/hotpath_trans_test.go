@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestHotpathTransitive covers the v2 half of the hotpath analyzer:
+// transitive reporting through the static call graph (with the chain
+// from the annotated root in the message), opaque interface calls at
+// the frontier and their waiver, in-loop composite literals at depth
+// zero and transitively, once-only reporting when two roots reach the
+// same site, and silence for helpers no root reaches.
+func TestHotpathTransitive(t *testing.T) {
+	linttest.Run(t, "testdata/hotpath_trans", "fixture/hottrans", lint.Hotpath)
+}

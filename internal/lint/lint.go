@@ -25,7 +25,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // An Analyzer describes one invariant checker. Run inspects a single
@@ -55,7 +54,19 @@ type Pass struct {
 	// Info holds the type-checker's findings for Files.
 	Info *types.Info
 
+	// store is the session fact store: cross-package function
+	// summaries, the merged waiver index, and report deduplication.
+	store *FactStore
 	diags *[]Diagnostic
+}
+
+// WaivedAt reports whether pos is covered by a reasoned //flare:allow
+// directive, without consuming it. Analyzers use this when a waiver
+// scopes further checking (slotwrite inspects the goroutines whose go
+// statement carries a determinism waiver) rather than suppressing a
+// finding.
+func (p *Pass) WaivedAt(pos token.Pos) bool {
+	return p.store.dirs.waivedAt(p.Fset.Position(pos))
 }
 
 // Reportf records a finding at pos.
@@ -79,12 +90,38 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Run applies the analyzers to one loaded package and returns the
+// Run applies the analyzers to one standalone package and returns the
 // surviving diagnostics: findings suppressed by a well-formed
-// //flare:allow directive are dropped, and malformed directives (no
-// reason, or a hotpath mark not attached to a function declaration) are
-// themselves reported under the "directive" pseudo-analyzer.
+// //flare:allow directive are dropped; malformed directives (no
+// reason, or a hotpath mark not attached to a function declaration)
+// and stale waivers that suppressed nothing are themselves reported
+// under the "directive" pseudo-analyzer.
+//
+// Run is the single-package convenience (fixtures, one-shot checks).
+// Multi-package sessions — cmd/flarevet, the tree test — create one
+// FactStore, call RunWithFacts per package in dependency order, and
+// append StaleWaivers at the end, so that facts and waivers flow
+// across package boundaries.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	store := NewFactStore()
+	diags := RunWithFacts(pkg, analyzers, store)
+	diags = append(diags, store.StaleWaivers()...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// RunWithFacts applies the analyzers to one package of a session whose
+// state lives in store. The package's directives are merged into the
+// store before the analyzers run (so waivers in this package's files
+// can suppress findings reported by LATER packages, and vice versa for
+// facts); suppression is then checked against the whole session index,
+// consuming the matched directives. Malformed-directive findings are
+// appended; stale-waiver findings are NOT — harvest them from
+// store.StaleWaivers once the session is complete.
+func RunWithFacts(pkg *Package, analyzers []*Analyzer, store *FactStore) []Diagnostic {
+	dirs := collectDirectives(pkg.Fset, pkg.Files)
+	store.mergeDirectives(dirs)
+
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -94,31 +131,19 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			PkgPath:  pkg.Path,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			store:    store,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
 
-	dirs := collectDirectives(pkg.Fset, pkg.Files)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !dirs.allows(d.Pos) {
+		if !store.dirs.allows(d.Pos) {
 			kept = append(kept, d)
 		}
 	}
 	kept = append(kept, dirs.malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	SortDiagnostics(kept)
 	return kept
 }

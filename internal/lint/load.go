@@ -28,6 +28,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
@@ -46,6 +47,12 @@ type Package struct {
 	// Types and Info are the type-checker outputs.
 	Types *types.Package
 	Info  *types.Info
+	// Target reports whether the package matched the load patterns
+	// (as opposed to being pulled in as an in-module dependency so
+	// that facts and types are exact). Diagnostics are printed for
+	// target packages only; the stale-waiver audit runs only when
+	// every loaded package is a target.
+	Target bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader uses.
@@ -61,13 +68,40 @@ type listedPackage struct {
 // LoadPackages loads, parses, and type-checks the packages matching the
 // `go list` patterns, rooted at dir (the module root for "./...").
 // Packages are returned in dependency order.
+//
+// For narrow patterns (anything but the whole module), the in-module
+// dependency closure is loaded too, marked Target=false: the dataflow
+// analyzers need dependency-package facts (hotpath summaries, seed
+// sinks) for a narrow run to agree with the whole-module run, and the
+// shared loader is faster than re-checking each dependency through the
+// source importer anyway.
 func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(dir, patterns)
+	wholeModule := len(patterns) == 1 && patterns[0] == "./..."
+
+	listed, err := goList(dir, false, patterns)
 	if err != nil {
 		return nil, err
+	}
+	targets := make(map[string]bool, len(listed))
+	for _, lp := range listed {
+		targets[lp.ImportPath] = true
+	}
+	if !wholeModule {
+		// Widen to the in-module dependency closure.
+		deps, err := goList(dir, true, patterns)
+		if err != nil {
+			return nil, err
+		}
+		merged := listed[:0]
+		for _, lp := range deps {
+			if strings.HasPrefix(lp.ImportPath, ModulePath) {
+				merged = append(merged, lp)
+			}
+		}
+		listed = merged
 	}
 
 	byPath := make(map[string]*listedPackage, len(listed))
@@ -116,6 +150,7 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Target = targets[lp.ImportPath]
 		chain.local[lp.ImportPath] = pkg.Types
 		out = append(out, pkg)
 	}
@@ -145,16 +180,26 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 		local:    map[string]*types.Package{},
 		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 	}
-	return checkPackage(fset, chain, &listedPackage{
+	pkg, err := checkPackage(fset, chain, &listedPackage{
 		ImportPath: pkgPath,
 		Dir:        dir,
 		GoFiles:    files,
 	})
+	if err != nil {
+		return nil, err
+	}
+	pkg.Target = true
+	return pkg, nil
 }
 
-// goList shells out to `go list -json` and decodes the package stream.
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports,Error", "--"}, patterns...)
+// goList shells out to `go list -json` (optionally -deps for the
+// transitive closure) and decodes the package stream.
+func goList(dir string, deps bool, patterns []string) ([]*listedPackage, error) {
+	args := []string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(append(args, "--"), patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer

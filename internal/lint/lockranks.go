@@ -1,0 +1,58 @@
+// The declared lock hierarchy. PR 8 sharded the OneAPI control plane
+// and established, by convention and comment, a strict acquisition
+// order for its mutexes; this table is that convention made
+// machine-readable, and the lockorder analyzer enforces it: while any
+// ranked lock is held, only strictly lower-ranked locks may be
+// acquired. Acquiring an equal rank is also a finding — that is
+// exactly the Handover both-cells case, where the code must impose a
+// global order (cell ID) itself and say so with a reasoned
+// //flare:allow.
+package lint
+
+import (
+	"fmt"
+	"path"
+)
+
+// A LockClass names one mutex in the hierarchy: the Field of a struct
+// Type in package Pkg (Type == "" for a package-level mutex variable).
+// Higher Rank is acquired first. Mutexes not listed here are outside
+// the hierarchy and unconstrained.
+type LockClass struct {
+	Pkg   string
+	Type  string
+	Field string
+	Rank  int
+	// Doc says what the lock protects and why it sits at this rank.
+	Doc string
+}
+
+// String renders "pkg.Type.Field" with the package abbreviated.
+func (c LockClass) String() string {
+	if c.Type == "" {
+		return path.Base(c.Pkg) + "." + c.Field
+	}
+	return fmt.Sprintf("%s.%s.%s", path.Base(c.Pkg), c.Type, c.Field)
+}
+
+// LockRanks is the control plane's declared hierarchy, outermost
+// first: poolMu > optMu > shard.mu > cellState.mu. cmd/flarevet, the
+// tree test, and DESIGN.md §12 all read this table.
+var LockRanks = []LockClass{
+	{
+		Pkg: internalPrefix + "oneapi", Type: "Server", Field: "poolMu", Rank: 40,
+		Doc: "serializes RunBAIRounds/Close around the shared BAI worker pool; held across whole rounds, so nothing may hold it while a finer lock is already held",
+	},
+	{
+		Pkg: internalPrefix + "oneapi", Type: "Server", Field: "optMu", Rank: 30,
+		Doc: "guards creation-time defaults (recorder, PCEF, wall clock) and orders Set* against cell creation; taken before any shard or cell lock",
+	},
+	{
+		Pkg: internalPrefix + "oneapi", Type: "shard", Field: "mu", Rank: 20,
+		Doc: "serializes mutation of one shard's copy-on-write cell index; reads are lock-free, writers take it under optMu and above cell locks",
+	},
+	{
+		Pkg: internalPrefix + "oneapi", Type: "cellState", Field: "mu", Rank: 10,
+		Doc: "one cell's session state; innermost — nothing else may be acquired while it is held, and both-cells operations (Handover) must lock in global cell-ID order",
+	},
+}

@@ -4,7 +4,10 @@
 // both read this table, so "the rules" exist in exactly one place.
 package lint
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // ModulePath is this module's import path prefix.
 const ModulePath = "github.com/flare-sim/flare"
@@ -165,18 +168,52 @@ func pathMatches(pattern, path string) bool {
 	return path == pattern || strings.HasPrefix(path, pattern+"/")
 }
 
-// Analyzers returns the full suite, in reporting order.
+// DirectiveCheck is the directive grammar and waiver audit. Its work —
+// rejecting bare //flare:allow, misplaced //flare:hotpath, and stale
+// waivers no analyzer consumed — is performed by the runner itself
+// (lint.Run / FactStore.StaleWaivers), because it must see every other
+// analyzer's suppressions; it is registered here so the suite's table
+// (flarevet -help-analyzers, the eight-analyzer help test) describes
+// everything that can produce a finding.
+var DirectiveCheck = &Analyzer{
+	Name: "directive",
+	Doc: "validates //flare:allow <reason> and //flare:hotpath grammar, and reports stale " +
+		"//flare:allow directives that no longer suppress any finding (whole-module runs only)",
+	Run: func(*Pass) {},
+}
+
+// Analyzers returns the full suite — all eight analyzers — in
+// reporting order. This table is the single registry: -help-analyzers
+// and the help-coverage test are generated from it.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Layering, Hotpath, ObsDiscipline}
+	return []*Analyzer{
+		Determinism, SeedPurity,
+		Layering, Hotpath, ObsDiscipline,
+		LockOrder, SlotWrite,
+		DirectiveCheck,
+	}
 }
 
 // AnalyzersFor selects the analyzers that apply to pkgPath: layering,
-// hotpath, and obsdiscipline run everywhere; determinism only inside
-// the sim-clock domain (live servers and CLIs may read the wall clock).
+// hotpath, obsdiscipline, lockorder, slotwrite, and the directive audit
+// run everywhere; determinism and seedpurity only inside the sim-clock
+// domain (live servers and CLIs may read the wall clock, and may seed
+// jitter however they like).
 func AnalyzersFor(pkgPath string) []*Analyzer {
-	as := []*Analyzer{Layering, Hotpath, ObsDiscipline}
+	as := []*Analyzer{Layering, Hotpath, ObsDiscipline, LockOrder, SlotWrite, DirectiveCheck}
 	if IsSimClock(pkgPath) {
-		as = append([]*Analyzer{Determinism}, as...)
+		as = append([]*Analyzer{Determinism, SeedPurity}, as...)
 	}
 	return as
+}
+
+// AnalyzerHelp renders the registered analyzer table for
+// `flarevet -help-analyzers` — generated from Analyzers() so the CLI
+// can never drift from the registry.
+func AnalyzerHelp() string {
+	var b strings.Builder
+	for _, a := range Analyzers() {
+		fmt.Fprintf(&b, "%s\n    %s\n\n", a.Name, a.Doc)
+	}
+	return b.String()
 }

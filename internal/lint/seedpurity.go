@@ -1,0 +1,517 @@
+// The seedpurity analyzer: every RNG constructed in a sim-clock
+// package must be seeded with config-seed ancestry.
+//
+// PRs 7 and 9 made determinism compositional: each run, cell, and
+// worker derives its RNG from the spec's Seed (directly, or mixed with
+// salts and indices — sim.NewRNG(cfg.Seed ^ churnSalt),
+// runSeed(run, cell)). The determinism analyzer already bans the
+// global math/rand source; this analyzer checks the seeds themselves:
+//
+//   - at every call whose callee demands a seed — math/rand
+//     NewSource/NewPCG/NewChaCha8, sim.NewRNG, and any function with a
+//     parameter whose name contains "seed" — the argument expression
+//     is classified by its leaves. Wall-clock reads (time.Now,
+//     UnixNano) and process identity (os.Getpid) are flagged where
+//     they appear; an expression with at least one seed-named leaf
+//     (or a method call on an existing RNG) is pure no matter what
+//     indices it mixes in; an all-constant expression is pure; and an
+//     expression with neither ancestry nor constancy is flagged.
+//   - a non-seed-named parameter that flows into an RNG constructor
+//     turns the parameter into a seed sink (a cross-package fact), and
+//     every call site is re-checked against it — the trace back
+//     through the call graph the invariant asks for.
+//   - package-level RNG variables are flagged: RNG state must be owned
+//     by the run or cell that seeded it.
+//   - an RNG that escapes into a go statement is flagged: goroutines
+//     draw in scheduler order, so per-worker RNGs must be split
+//     deterministically before the fan-out, never shared across it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedPurity applies in sim-clock packages only (AnalyzersFor): live
+// servers and CLIs may seed from the wall clock if they wish.
+var SeedPurity = &Analyzer{
+	Name: "seedpurity",
+	Doc: "requires RNG seeds in sim-clock packages to derive from a Config/spec seed " +
+		"(traced through the call graph), and forbids package-level RNGs and RNGs " +
+		"escaping into go statements",
+	Run: runSeedPurity,
+}
+
+// simRNGPackage is where sim.RNG lives.
+const simRNGPackage = ModulePath + "/internal/sim"
+
+func runSeedPurity(pass *Pass) {
+	s := &seedChecker{pass: pass, graph: buildCallGraph(pass)}
+	s.checkGlobals()
+	s.checkEscapes()
+	s.checkSeeds()
+}
+
+type seedChecker struct {
+	pass  *Pass
+	graph *callGraph
+}
+
+// ---- package-level RNG state ----
+
+func (s *seedChecker) checkGlobals() {
+	for _, f := range s.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // blank discards the value; no state outlives the init
+					}
+					obj := s.pass.Info.Defs[name]
+					if obj != nil && isRNGType(obj.Type()) {
+						s.pass.Reportf(name.Pos(),
+							"package-level RNG %s: RNG state must be owned by the run/cell that seeds it; construct it from a Config seed where it is used", name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- RNGs escaping into goroutines ----
+
+func (s *seedChecker) checkEscapes() {
+	for _, fd := range s.graph.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			seen := map[types.Object]bool{}
+			ast.Inspect(g.Call, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := s.pass.Info.Uses[id].(*types.Var)
+				if !ok || seen[v] || !isRNGType(v.Type()) {
+					return true
+				}
+				// Only variables declared outside the go'd expression
+				// escape into it.
+				if v.Pos() >= g.Call.Pos() && v.Pos() < g.Call.End() {
+					return true
+				}
+				seen[v] = true
+				s.pass.Reportf(id.Pos(),
+					"RNG %s escapes into a go statement: goroutines draw in scheduler order; Split a per-worker RNG deterministically before the fan-out", v.Name())
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isRNGType recognizes *sim.RNG, sim.RNG, and the math/rand generator
+// and source types.
+func isRNGType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch pkg {
+	case simRNGPackage:
+		return name == "RNG"
+	case "math/rand":
+		return name == "Rand" || name == "Source"
+	case "math/rand/v2":
+		return name == "Rand" || name == "PCG" || name == "ChaCha8" || name == "Source"
+	}
+	return false
+}
+
+// ---- seed argument purity ----
+
+// seedCall is one call site, remembered so sink facts discovered later
+// in the fixpoint can re-check earlier calls.
+type seedCall struct {
+	call      *ast.CallExpr
+	enclosing *types.Func
+}
+
+func (s *seedChecker) checkSeeds() {
+	// Collect every call site with its enclosing declared function.
+	var calls []seedCall
+	for _, fd := range s.graph.decls {
+		fn := s.graph.funcOf[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				calls = append(calls, seedCall{call, fn})
+			}
+			return true
+		})
+	}
+
+	// Fixpoint: checking a call can mint a new sink fact (a parameter
+	// of an in-package function that feeds a constructor), which makes
+	// earlier calls to that function checkable. Facts only accumulate,
+	// so re-sweeping until quiet terminates.
+	checked := map[*ast.CallExpr]map[int]bool{}
+	for {
+		grew := false
+		for _, sc := range calls {
+			callee, kind := classifyCall(s.pass.Info, sc.call)
+			if kind != callStatic {
+				continue
+			}
+			for _, idx := range s.sinkParams(callee) {
+				if idx >= len(sc.call.Args) {
+					continue
+				}
+				if checked[sc.call] == nil {
+					checked[sc.call] = map[int]bool{}
+				}
+				if checked[sc.call][idx] {
+					continue
+				}
+				checked[sc.call][idx] = true
+				if s.checkSeedArg(sc.call.Args[idx], callee, sc.enclosing) {
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+}
+
+// sinkParams returns the parameter indices of fn that must receive
+// config-seed-derived values: hardcoded stdlib/sim constructors,
+// seed-named parameters, and fact-store sinks minted by earlier
+// packages or earlier fixpoint rounds.
+func (s *seedChecker) sinkParams(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	add := func(i int) {
+		for _, j := range out {
+			if j == i {
+				return
+			}
+		}
+		out = append(out, i)
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "math/rand":
+			if fn.Name() == "NewSource" || fn.Name() == "Seed" {
+				add(0)
+			}
+		case "math/rand/v2":
+			switch fn.Name() {
+			case "NewPCG":
+				add(0)
+				add(1)
+			case "NewChaCha8", "NewSource":
+				add(0)
+			}
+		case simRNGPackage:
+			if fn.Name() == "NewRNG" {
+				add(0)
+			}
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isSeedName(sig.Params().At(i).Name()) {
+			add(i)
+		}
+	}
+	for i := range s.pass.store.seedSinks[fn] {
+		add(i)
+	}
+	return out
+}
+
+// checkSeedArg classifies arg and reports impurity. It returns true
+// when a new sink fact was minted (the fixpoint must re-sweep).
+func (s *seedChecker) checkSeedArg(arg ast.Expr, callee, enclosing *types.Func) bool {
+	v := &seedVerdict{}
+	s.classify(arg, enclosing, map[types.Object]bool{}, v)
+	switch {
+	case v.forbiddenDesc != "":
+		s.pass.Reportf(v.forbiddenPos,
+			"%s seeds %s: sim-clock RNGs must be seeded from a Config/spec seed, never %s",
+			v.forbiddenDesc, callee.Name(), v.forbiddenDesc)
+	case v.hasSeed || len(v.unknown) == 0:
+		// Pure: seed ancestry, or an all-constant expression.
+	default:
+		// If the impurity is (only) the enclosing function's own
+		// parameters, defer judgment: the parameters become seed
+		// sinks and the call sites are checked instead.
+		if params := s.paramIndices(v.unknown, enclosing); params != nil {
+			grew := false
+			for _, idx := range params {
+				if s.pass.store.addSeedSink(enclosing, idx) {
+					grew = true
+				}
+			}
+			return grew
+		}
+		s.pass.Reportf(arg.Pos(),
+			"seed for %s has no Config-seed ancestry (depends on %s); thread the run/cell seed here",
+			callee.Name(), strings.Join(v.unknownNames, ", "))
+	}
+	return false
+}
+
+// paramIndices maps the unknown leaves to parameter indices of
+// enclosing iff EVERY leaf is such a parameter; otherwise nil.
+func (s *seedChecker) paramIndices(unknown []types.Object, enclosing *types.Func) []int {
+	if enclosing == nil || len(unknown) == 0 {
+		return nil
+	}
+	sig, ok := enclosing.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for _, obj := range unknown {
+		found := -1
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		out = append(out, found)
+	}
+	return out
+}
+
+// seedVerdict accumulates the classification of one seed expression.
+type seedVerdict struct {
+	hasSeed       bool
+	forbiddenPos  token.Pos
+	forbiddenDesc string
+	unknown       []types.Object
+	unknownNames  []string
+}
+
+func (v *seedVerdict) addUnknown(obj types.Object, name string) {
+	for _, o := range v.unknown {
+		if o == obj {
+			return
+		}
+	}
+	v.unknown = append(v.unknown, obj)
+	v.unknownNames = append(v.unknownNames, name)
+}
+
+// classify walks a seed expression down to its leaves. enclosing is
+// the function whose body the expression sits in (for local-variable
+// tracing); visited breaks def-use cycles.
+func (s *seedChecker) classify(e ast.Expr, enclosing *types.Func, visited map[types.Object]bool, v *seedVerdict) {
+	if e == nil {
+		return
+	}
+	// Constants (literals, named consts, constant arithmetic) are pure
+	// leaves wherever they appear.
+	if tv, ok := s.pass.Info.Types[e]; ok && tv.Value != nil {
+		return
+	}
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := s.pass.Info.Uses[e]
+		if obj == nil {
+			return
+		}
+		if isSeedName(obj.Name()) {
+			v.hasSeed = true
+			return
+		}
+		if lv, ok := obj.(*types.Var); ok && !visited[lv] {
+			visited[lv] = true
+			if init := s.localInit(lv, enclosing); init != nil {
+				s.classify(init, enclosing, visited, v)
+				return
+			}
+		}
+		v.addUnknown(obj, obj.Name())
+	case *ast.SelectorExpr:
+		// cfg.Seed, spec.JitterSeed, s.cfg.Churn.Seed, ...
+		if isSeedName(e.Sel.Name) {
+			v.hasSeed = true
+			return
+		}
+		if obj := s.pass.Info.Uses[e.Sel]; obj != nil {
+			v.addUnknown(obj, exprString(e))
+		}
+	case *ast.BinaryExpr:
+		s.classify(e.X, enclosing, visited, v)
+		s.classify(e.Y, enclosing, visited, v)
+	case *ast.UnaryExpr:
+		s.classify(e.X, enclosing, visited, v)
+	case *ast.StarExpr:
+		s.classify(e.X, enclosing, visited, v)
+	case *ast.IndexExpr:
+		// seeds[i]: ancestry comes from the container, the index is a
+		// mixer.
+		s.classify(e.X, enclosing, visited, v)
+	case *ast.CallExpr:
+		s.classifyCallLeaf(e, enclosing, visited, v)
+	default:
+		v.addUnknown(nil, exprString(e))
+	}
+}
+
+// classifyCallLeaf handles a call appearing inside a seed expression.
+func (s *seedChecker) classifyCallLeaf(call *ast.CallExpr, enclosing *types.Func, visited map[types.Object]bool, v *seedVerdict) {
+	// A conversion — uint64(x) — is transparent.
+	if len(call.Args) == 1 {
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, isType := s.pass.Info.Uses[fun].(*types.TypeName); isType {
+				s.classify(call.Args[0], enclosing, visited, v)
+				return
+			}
+		case *ast.SelectorExpr:
+			if _, isType := s.pass.Info.Uses[fun.Sel].(*types.TypeName); isType {
+				s.classify(call.Args[0], enclosing, visited, v)
+				return
+			}
+		}
+	}
+	fn, _ := classifyCall(s.pass.Info, call)
+	if fn == nil {
+		v.addUnknown(nil, exprString(call.Fun)+"(...)")
+		return
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	// Wall-clock and process-identity sources: the classic
+	// time.Now().UnixNano() seed, flagged at the source.
+	if pkg == "time" && fn.Name() == "Now" {
+		v.forbiddenPos, v.forbiddenDesc = call.Pos(), "time.Now()"
+		return
+	}
+	if recv := receiverNamed(fn); recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Path() == "time" && strings.HasPrefix(fn.Name(), "Unix") {
+		v.forbiddenPos, v.forbiddenDesc = call.Pos(), "a wall-clock Unix timestamp"
+		// Keep walking: the receiver may itself be time.Now().
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			s.classify(sel.X, enclosing, visited, v)
+		}
+		return
+	}
+	if pkg == "os" && (fn.Name() == "Getpid" || fn.Name() == "Getppid") {
+		v.forbiddenPos, v.forbiddenDesc = call.Pos(), "os."+fn.Name()+"()"
+		return
+	}
+	// A function named for seeds (runSeed, CellSeed, ...) is a pure
+	// derivation; a method on an existing RNG draws from
+	// already-threaded state.
+	if isSeedName(fn.Name()) {
+		v.hasSeed = true
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isRNGType(recv.Type()) {
+		v.hasSeed = true
+		return
+	}
+	v.addUnknown(nil, fn.Name()+"(...)")
+}
+
+// localInit finds the initializer of a local variable: `x := expr` or
+// `var x = expr` in the enclosing function, first write only.
+func (s *seedChecker) localInit(v *types.Var, enclosing *types.Func) ast.Expr {
+	if enclosing == nil {
+		return nil
+	}
+	fd := s.graph.declOf[enclosing]
+	if fd == nil || v.Pos() < fd.Pos() || v.Pos() >= fd.End() {
+		return nil
+	}
+	var init ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if init != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && s.pass.Info.Defs[id] == v {
+					init = n.Rhs[i]
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if s.pass.Info.Defs[name] == v && i < len(n.Values) {
+					init = n.Values[i]
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return init
+}
+
+// receiverNamed returns the named type of fn's receiver, or nil.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// isSeedName reports whether an identifier names seed-derived data.
+func isSeedName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// exprString renders a short display form of an expression.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + e.Op.String() + exprString(e.Y)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestSeedPurity covers the forbidden seed sources (wall clock at the
+// source, process identity), package-level RNG state, RNG escape into
+// a go statement, seed-sink propagation through an in-package helper
+// (both the caught wall-clock call site and the no-ancestry local),
+// and the pure forms: Config-seed mixing, constants, seed-named
+// derivation functions, and draws from an existing RNG.
+func TestSeedPurity(t *testing.T) {
+	linttest.Run(t, "testdata/seedpurity", "fixture/seedfix", lint.SeedPurity)
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestSlotWrite co-runs determinism and slotwrite, as the sim-clock
+// suite does: the //flare:allow on a worker-pool go statement is
+// consumed by the determinism finding it waives, and the same waiver
+// marks the goroutine body as a slot-checked scope. The fixture covers
+// both scopes (RunRange methods, waived-go bodies including a static
+// callee), sanctioned input-index stores, offset/counter/constant
+// violations, and scope-local slices.
+func TestSlotWrite(t *testing.T) {
+	linttest.Run(t, "testdata/slotwrite", "fixture/slotfix",
+		lint.Determinism, lint.SlotWrite)
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/flare-sim/flare/internal/lint"
+	"github.com/flare-sim/flare/internal/lint/linttest"
+)
+
+// TestStaleWaiver checks the directive hygiene rule: a //flare:allow
+// consumed by the finding it suppresses is healthy, while one that
+// suppresses nothing is reported — the audit lint.Run (and the
+// whole-module session in cmd/flarevet) appends after suppression, so
+// a stale waiver can never excuse its own staleness.
+func TestStaleWaiver(t *testing.T) {
+	linttest.Run(t, "testdata/stalewaiver", "fixture/stalefix", lint.Hotpath)
+}

@@ -1,0 +1,91 @@
+// Package hottrans exercises hotpath v2: budgets propagate through the
+// static call graph (a helper's defer is reported at the helper, with
+// the chain from the annotated root), interface calls at the frontier
+// are opaque unless waived, in-loop map/slice literals allocate per
+// iteration, findings reachable from two roots are reported once, and
+// helpers not reachable from any annotated root stay silent.
+package hottrans
+
+func cleanup() {}
+
+// helperDefer is clean in isolation; it is flagged only because an
+// annotated root reaches it.
+func helperDefer() {
+	defer cleanup() // want `defer in helperDefer, reachable from //flare:hotpath function tick via mid -> helperDefer`
+}
+
+// mid is the intermediate hop: no sites of its own.
+func mid() {
+	helperDefer()
+}
+
+//flare:hotpath
+func tick() {
+	mid()
+}
+
+// tick2 reaches the same helper; the finding is claimed once (by
+// tick's walk), so this root adds nothing.
+//
+//flare:hotpath
+func tick2() {
+	mid()
+}
+
+// unreached has the same defer but no annotated caller: silent.
+func unreached() {
+	defer cleanup()
+}
+
+// Stepper is the interface frontier.
+type Stepper interface {
+	Step()
+}
+
+//flare:hotpath
+func drive(s Stepper) {
+	s.Step() // want `opaque interface call hottrans.Stepper.Step in //flare:hotpath function drive: the allocation budget cannot follow it`
+}
+
+//flare:hotpath
+func driveWaived(s Stepper) {
+	//flare:allow fixture: the only Step impl is a field increment; the driver benchmark gates it
+	s.Step()
+}
+
+// litLoop allocates a map literal per iteration.
+//
+//flare:hotpath
+func litLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := map[int]int{i: i} // want `map literal in loop in //flare:hotpath function litLoop allocates per iteration`
+		total += len(m)
+	}
+	return total
+}
+
+// sliceHelper's in-loop slice literal is transitive, two hops down.
+func sliceHelper(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s := []int{i} // want `slice literal in loop in sliceHelper allocates per iteration, reachable from //flare:hotpath function sweep via sliceHelper`
+		total += len(s)
+	}
+	return total
+}
+
+//flare:hotpath
+func sweep(n int) int {
+	return sliceHelper(n)
+}
+
+var (
+	_ = tick
+	_ = tick2
+	_ = unreached
+	_ = drive
+	_ = driveWaived
+	_ = litLoop
+	_ = sweep
+)

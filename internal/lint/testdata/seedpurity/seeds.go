@@ -1,0 +1,107 @@
+// Package seedfix exercises the seedpurity analyzer: wall-clock and
+// process-identity seeds (flagged at the source), package-level RNG
+// state, RNGs escaping into go statements, seed-sink propagation
+// through in-package helpers, and the pure forms — Config-seed
+// ancestry mixed with arbitrary indices, seed-named derivation
+// functions, constants, and draws from an already-seeded RNG.
+package seedfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Config carries the run's declared seed.
+type Config struct {
+	Seed int64
+}
+
+// globalRNG is package-level RNG state: flagged regardless of how it
+// was seeded.
+var globalRNG = rand.New(rand.NewSource(7)) // want `package-level RNG globalRNG`
+
+// wallSeed is the classic time.Now().UnixNano() seed.
+func wallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now\(\) seeds NewSource: sim-clock RNGs must be seeded from a Config/spec seed, never time.Now\(\)`
+}
+
+// pidSeed seeds from process identity; the conversion is transparent.
+func pidSeed() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want `os.Getpid\(\) seeds NewSource`
+}
+
+// pureMix is the sanctioned shape: the config seed xor'd with any
+// index is still seed-derived.
+func pureMix(cfg Config, cell int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ int64(cell)))
+}
+
+// constSeed is pure: an all-constant expression.
+func constSeed() rand.Source {
+	return rand.NewSource(40*1000 + 2)
+}
+
+// runSeed is a seed-named derivation: callers of NewSource(runSeed(..))
+// are pure, whatever they pass in.
+func runSeed(run, cell int) int64 {
+	return int64(run*1000003 + cell)
+}
+
+func derivedSeed() rand.Source {
+	return rand.NewSource(runSeed(3, 4))
+}
+
+// splitRNG draws the child seed from an already-threaded RNG.
+func splitRNG(parent *rand.Rand) rand.Source {
+	return rand.NewSource(parent.Int63())
+}
+
+// newWorker forwards its salt into a constructor: salt becomes a seed
+// sink, and every call site is checked instead.
+func newWorker(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(salt))
+}
+
+// spawnPure feeds the sink from the config seed: clean.
+func spawnPure(cfg Config) *rand.Rand {
+	return newWorker(cfg.Seed + 1)
+}
+
+// spawnWall feeds the sink from the wall clock: the trace through
+// newWorker catches it.
+func spawnWall() *rand.Rand {
+	return newWorker(time.Now().UnixNano()) // want `time.Now\(\) seeds newWorker`
+}
+
+// counter is an opaque in-package value source (not seed-named, not an
+// RNG draw).
+func counter() int64 { return 1 }
+
+// spawnOpaque feeds the sink from a local with no seed ancestry.
+func spawnOpaque() *rand.Rand {
+	v := counter()
+	return newWorker(v) // want `seed for newWorker has no Config-seed ancestry \(depends on counter\(\.\.\.\)\); thread the run/cell seed here`
+}
+
+// fanOut shares one RNG across a goroutine: goroutines draw in
+// scheduler order, so the fan-out must split first.
+func fanOut(r *rand.Rand, out chan<- int64) {
+	go func() {
+		out <- r.Int63() // want `RNG r escapes into a go statement`
+	}()
+}
+
+var (
+	_ = globalRNG
+	_ = wallSeed
+	_ = pidSeed
+	_ = pureMix
+	_ = constSeed
+	_ = derivedSeed
+	_ = splitRNG
+	_ = spawnPure
+	_ = spawnWall
+	_ = spawnOpaque
+	_ = fanOut
+)

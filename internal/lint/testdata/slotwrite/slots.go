@@ -1,0 +1,98 @@
+// Package slotfix exercises the slotwrite analyzer in both scopes:
+// RunRange(lo, hi int) methods (the sim.RangeRunner contract) and the
+// body of a //flare:allow-waived go statement (the worker-pool
+// fan-out). Sanctioned stores index a shared slice by the input-index
+// variable, bare; offset indices, private counters, and constant slots
+// are findings; scope-local slices are free.
+package slotfix
+
+// phase is a RangeRunner-shaped worker over shared input/output.
+type phase struct {
+	in  []float64
+	out []float64
+}
+
+// RunRange is the checked scope: i over [lo, hi) is the only
+// sanctioned index into shared slices.
+func (p *phase) RunRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p.out[i] = 2 * p.in[i]
+	}
+	for i := lo; i < hi; i++ {
+		p.out[i+1] = p.in[i] // want `shared-slice store p.out\[i\+1\] in a RunRange indexes by i\+1, not the input-index variable`
+	}
+	j := 0
+	for i := lo; i < hi; i++ {
+		p.out[j] = p.in[i] // want `shared-slice store p.out\[j\] in a RunRange indexes by j`
+		j++
+	}
+	p.out[0] = 0 // want `shared-slice store p.out\[0\] in a RunRange indexes by 0`
+	scratch := make([]float64, hi)
+	for i := lo; i < hi; i++ {
+		scratch[0] += p.in[i] // scope-local: private, any index is fine
+	}
+}
+
+// RunRange on a second runner with a <= bound is still sanctioned.
+type inclusivePhase struct {
+	out []int
+}
+
+func (p *inclusivePhase) RunRange(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		p.out[i] = i
+	}
+}
+
+// notRunRange has the wrong shape (one param): not a checked scope.
+func (p *phase) notRunRange(lo int) {
+	p.out[0] = 1
+}
+
+// fanOut is the waived-go worker-pool shape: the goroutine ranges over
+// a job channel, and the channel key is the sanctioned index.
+func fanOut(jobs chan int, results []float64, weights []float64) {
+	//flare:allow fixture: worker-pool fan-out — each worker owns the result slot of the job index it is handed, and the caller folds in index order
+	go func() {
+		var acc float64
+		for i := range jobs {
+			results[i] = weights[i] * 2
+			acc += weights[i]
+			results[i+1] = acc // want `shared-slice store results\[i\+1\] in a worker goroutine indexes by i\+1`
+		}
+	}()
+}
+
+// namedWorker shows the static-callee form: go worker(...) follows the
+// declaration, so the worker body is in scope too.
+func namedWorker(jobs chan int, results []float64) {
+	//flare:allow fixture: worker-pool fan-out — slot writes are checked in the worker body below
+	go worker(jobs, results)
+}
+
+func worker(jobs chan int, results []float64) {
+	local := make([]float64, 4)
+	for i := range jobs {
+		results[i] = 1
+		local[3] = 2 // scope-local
+		results[3] = 3 // want `shared-slice store results\[3\] in a worker goroutine indexes by 3`
+	}
+}
+
+// unwaivedGo is not a checked scope for slotwrite (no waiver); the go
+// statement itself is the determinism analyzer's finding.
+func unwaivedGo(results []float64) {
+	go func() { // want `go statement spawns scheduler-ordered work`
+		results[0] = 1
+	}()
+}
+
+var (
+	_ = (&phase{}).RunRange
+	_ = (&inclusivePhase{}).RunRange
+	_ = (&phase{}).notRunRange
+	_ = fanOut
+	_ = namedWorker
+	_ = worker
+	_ = unwaivedGo
+)

@@ -1,0 +1,26 @@
+// Package stalefix exercises the stale-waiver audit: a //flare:allow
+// that suppresses a live finding is consumed and healthy; one that
+// suppresses nothing (the code it excused was deleted or moved) is
+// itself a finding, so waivers cannot silently outlive their reasons.
+package stalefix
+
+func cleanup() {}
+
+// consumed: the waiver excuses the defer finding below it.
+//
+//flare:hotpath
+func withWaiver() {
+	//flare:allow fixture: guards a once-per-run teardown, not per-tick work
+	defer cleanup()
+}
+
+// orphaned: nothing is reported at the line below this waiver.
+func calm() int {
+	/* want `stale //flare:allow \(fixture: this excused a finding that no longer exists\): no finding is suppressed here` */ //flare:allow fixture: this excused a finding that no longer exists
+	return 1
+}
+
+var (
+	_ = withWaiver
+	_ = calm
+)

@@ -23,12 +23,21 @@ func TestTreeClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
+	// One fact store for the whole session, exactly as cmd/flarevet
+	// runs it: packages arrive in dependency order, so callee facts
+	// (hotpath summaries, seed sinks) and waivers flow to callers, and
+	// the stale-waiver audit runs once everything has been analyzed.
+	store := lint.NewFactStore()
 	clean := true
 	for _, pkg := range pkgs {
-		for _, d := range lint.Run(pkg, lint.AnalyzersFor(pkg.Path)) {
+		for _, d := range lint.RunWithFacts(pkg, lint.AnalyzersFor(pkg.Path), store) {
 			t.Errorf("%s", d)
 			clean = false
 		}
+	}
+	for _, d := range store.StaleWaivers() {
+		t.Errorf("%s", d)
+		clean = false
 	}
 	if clean {
 		t.Logf("flarevet clean across %d packages", len(pkgs))

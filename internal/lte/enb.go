@@ -123,6 +123,7 @@ func (e *ENodeB) RunTTI(tti int64) TTIResult {
 	if e.pool != nil {
 		return e.runTTIParallel(tti)
 	}
+	//flare:allow hotpath frontier: the Channel impls (Static/Cyclic/Trace/MobilityChannel) update preallocated per-UE state in place; the flarebench TTI-rate and allocs/op gates cover them
 	e.channel.Update(tti)
 
 	// Build the schedulable set: bearers with backlog. Idle bearers'
@@ -134,6 +135,7 @@ func (e *ENodeB) RunTTI(tti int64) TTIResult {
 			continue
 		}
 		f := &e.flowStates[i]
+		//flare:allow hotpath frontier: Channel.ITbs impls are single array reads on all four in-tree channels; the flarebench gates cover them
 		f.ITbs = e.channel.ITbs(b.UE)
 		f.BitsPerRB = BitsPerRB(f.ITbs)
 		f.remaining = b.queue
@@ -143,6 +145,7 @@ func (e *ENodeB) RunTTI(tti int64) TTIResult {
 
 	var res TTIResult
 	if len(e.active) > 0 {
+		//flare:allow hotpath frontier: the Scheduler impls (PF/PrioritySet/TwoPhaseGBR/Sliced) allocate only scheduler-owned scratch reused across TTIs; the flarebench gates cover them
 		e.sched.Allocate(tti, e.active, e.rbgSizes)
 		for _, f := range e.active {
 			if f.granted == 0 {
@@ -193,6 +196,7 @@ func (e *ENodeB) CanFastForward() bool {
 // the naive per-TTI loop.
 func (e *ENodeB) FastForwardIdle(fromTTI, toTTI int64) {
 	if cc, ok := e.channel.(ChannelCatchUp); ok {
+		//flare:allow hotpath frontier: CatchUp runs once per idle span, not per TTI, and the in-tree impls advance RNG state in place; the kernel-jump equivalence tests cover it
 		cc.CatchUp(fromTTI, toTTI)
 	}
 	k := toTTI - fromTTI - 1

@@ -147,6 +147,7 @@ func (r *Recorder) Emit(e Event) {
 		}
 	}
 	for _, s := range r.sinks {
+		//flare:allow hotpath frontier: the registered Sink impls (flight ring copy, buffered JSONL encoder) amortize allocation; BenchmarkEmit's allocs/op floor gates them
 		if err := s.Write(ev); err != nil {
 			r.met.SinkErrors.Add(1)
 		}

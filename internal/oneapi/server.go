@@ -519,6 +519,7 @@ func (s *Server) Handover(fromCell, toCell, flowID int) error {
 	}
 	first.mu.Lock()
 	defer first.mu.Unlock()
+	//flare:allow lockorder: equal-rank by design — both cells are locked in global cell-ID order (first/second above), so concurrent handovers cannot form a cycle
 	second.mu.Lock()
 	defer second.mu.Unlock()
 

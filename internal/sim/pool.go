@@ -72,6 +72,7 @@ func (p *WorkerPool) Do(n int, r RangeRunner) {
 		return
 	}
 	if p.workers == 1 {
+		//flare:allow hotpath frontier: RunRange impls are the preallocated eNodeB/cellsim phase runners; slotwrite checks their stores and the parallel-vs-sequential golden equality gates their behavior
 		r.RunRange(0, n)
 		return
 	}

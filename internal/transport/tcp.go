@@ -241,6 +241,7 @@ func (f *Flow) Tick() {
 }
 
 func (f *Flow) trySend() {
+	//flare:allow hotpath frontier: the Env impls (cellsim env, flowEnv) read the sim clock field without allocating; the engine allocs/op gate covers them
 	now := f.env.NowTTI()
 	// Slow-start-after-idle: a connection that went quiet re-probes.
 	if f.cfg.IdleResetTTIs > 0 && f.lastSendTTI >= 0 &&
@@ -277,6 +278,7 @@ func (f *Flow) trySend() {
 		f.lostTotal += dropped
 		if !f.inRecovery {
 			f.inRecovery = true
+			//flare:allow hotpath frontier: Schedule fires only on queue overflow (loss), not per send, and the Env impls push onto a preallocated timer wheel
 			f.env.Schedule(f.cfg.RTTTTIs, f.onLossDetected)
 		}
 	}
